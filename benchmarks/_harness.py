@@ -1,0 +1,175 @@
+"""Shared benchmark harness (imported by conftest and the bench files).
+
+Every ``bench_figXX_*.py`` file regenerates one table/figure of the
+paper's §VI.  Each test measures one (algorithm, parameter) cell,
+records a row via :func:`record_row`, and the conftest session-finish
+hook prints the assembled paper-style tables — so ``pytest benchmarks/
+--benchmark-only | tee bench_output.txt`` captures both pytest-benchmark
+timings and the I/O / pair-test series the paper plots.
+
+Scale: the paper runs 1K–100K objects on a C++/testbed stack; the
+default sizes here are scaled so the full suite completes in minutes of
+pure Python while preserving every *relative* comparison.  Set
+``REPRO_BENCH_SCALE=medium`` or ``large`` for bigger runs.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import ContinuousJoinEngine, JoinConfig, SimulationDriver
+from repro.join import JoinTechniques
+from repro.workloads import Scenario, UpdateStream, make_workload
+
+# ----------------------------------------------------------------------
+# Scale profiles
+# ----------------------------------------------------------------------
+_PROFILES = {
+    "small": {
+        "sizes": [200, 500, 1000],
+        "naive_sizes": [200, 500, 1000],
+        "default_n": 1000,
+        "maintenance_steps": 8,
+        "speeds": [1.0, 2.0, 3.0, 4.0, 5.0],
+        "object_sizes": [0.05, 0.1, 0.2, 0.4, 0.8],
+    },
+    "medium": {
+        "sizes": [500, 1000, 2000, 4000],
+        "naive_sizes": [500, 1000, 2000],
+        "default_n": 2000,
+        "maintenance_steps": 12,
+        "speeds": [1.0, 2.0, 3.0, 4.0, 5.0],
+        "object_sizes": [0.05, 0.1, 0.2, 0.4, 0.8],
+    },
+    "large": {
+        "sizes": [1000, 2000, 5000, 10000],
+        "naive_sizes": [1000, 2000],
+        "default_n": 5000,
+        "maintenance_steps": 20,
+        "speeds": [1.0, 2.0, 3.0, 4.0, 5.0],
+        "object_sizes": [0.05, 0.1, 0.2, 0.4, 0.8],
+    },
+}
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+if SCALE not in _PROFILES:
+    raise RuntimeError(f"REPRO_BENCH_SCALE must be one of {sorted(_PROFILES)}")
+PROFILE = _PROFILES[SCALE]
+
+#: The paper's default parameters (Table I).
+T_M = 60.0
+MAX_SPEED = 2.0
+OBJECT_SIZE_PCT = 0.1
+SEED = 20080407  # ICDE 2008
+
+
+# ----------------------------------------------------------------------
+# Workload / engine helpers
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=32)
+def scenario_for(
+    n: int,
+    distribution: str = "uniform",
+    max_speed: float = MAX_SPEED,
+    object_size_pct: float = OBJECT_SIZE_PCT,
+    t_m: float = T_M,
+) -> Scenario:
+    """Cached deterministic workload for a parameter cell."""
+    return make_workload(
+        n,
+        distribution,
+        max_speed=max_speed,
+        object_size_pct=object_size_pct,
+        t_m=t_m,
+        seed=SEED,
+    )
+
+
+def build_engine(
+    scenario: Scenario,
+    algorithm: str,
+    t_m: float = T_M,
+    techniques: Optional[JoinTechniques] = None,
+    buckets_per_tm: Optional[int] = None,
+    buffer_pages: Optional[int] = None,
+) -> ContinuousJoinEngine:
+    """Fresh engine (fresh simulated disk + buffer) over a scenario."""
+    kwargs = {"t_m": t_m}
+    if buckets_per_tm is not None:
+        kwargs["buckets_per_tm"] = buckets_per_tm
+    if buffer_pages is not None:
+        kwargs["buffer_pages"] = buffer_pages
+    config = JoinConfig(**kwargs)
+    return ContinuousJoinEngine.create(
+        scenario.set_a, scenario.set_b, algorithm=algorithm,
+        config=config, techniques=techniques,
+    )
+
+
+def run_maintenance(
+    engine: ContinuousJoinEngine, scenario: Scenario, steps: int
+) -> SimulationDriver:
+    """Run ``steps`` timestamps of updates after the initial join."""
+    driver = SimulationDriver(engine, UpdateStream(scenario, seed=SEED + 1))
+    driver.run(steps)
+    return driver
+
+
+def measured_initial_join(engine: ContinuousJoinEngine) -> None:
+    """Run the initial join from a cold buffer with zeroed counters.
+
+    After this, ``engine.tracker`` holds exactly the initial join's cost
+    (the paper measures the join, not index construction).
+    """
+    engine.storage.buffer.clear()
+    engine.tracker.reset()
+    engine.run_initial_join()
+
+
+def measured_maintenance(
+    engine: ContinuousJoinEngine, scenario: Scenario, steps: int
+) -> "tuple[SimulationDriver, object]":
+    """Initial join, then ``steps`` timestamps of maintenance.
+
+    Returns the driver and the amortized per-update cost snapshot
+    (the paper's Figure 13 metric).
+    """
+    engine.run_initial_join()
+    engine.tracker.reset()
+    driver = run_maintenance(engine, scenario, steps)
+    return driver, driver.amortized_cost()
+
+
+# ----------------------------------------------------------------------
+# Paper-style result tables
+# ----------------------------------------------------------------------
+_ROWS: Dict[str, List[Tuple]] = {}
+
+
+def record_row(
+    figure: str, series: str, x: object, io: int, pair_tests: int, cpu_s: float
+) -> None:
+    """Record one data point of one figure's series."""
+    _ROWS.setdefault(figure, []).append((series, x, io, pair_tests, cpu_s))
+
+
+def emit_tables(write) -> None:
+    """Print all recorded figure tables through ``write(line)``."""
+    if not _ROWS:
+        return
+    write("")
+    write("=" * 78)
+    write(f"Paper-figure reproduction tables (scale profile: {SCALE})")
+    write("=" * 78)
+    for figure in sorted(_ROWS):
+        write("")
+        write(f"--- {figure} ---")
+        write(
+            f"{'series':>24s} {'x':>12s} {'I/O':>10s} "
+            f"{'pair tests':>12s} {'CPU (s)':>10s}"
+        )
+        for series, x, io, tests, cpu in _ROWS[figure]:
+            write(f"{series:>24s} {str(x):>12s} {io:>10d} {tests:>12d} {cpu:>10.3f}")
+    write("=" * 78)

@@ -1,0 +1,40 @@
+"""Ablation (beyond the paper's figures) — MTB bucket granularity.
+
+§IV-C discusses the trade-off behind the bucket length ``T_M / m``:
+larger ``m`` gives each bucket tree a smaller latest-update time (a
+stricter Theorem-2 constraint) but more trees to maintain and more
+bucket-pair combinations to join.  The paper follows the B^x-tree and
+fixes ``m = 2``.  This bench sweeps ``m ∈ {1, 2, 4, 8}`` (``m = 1`` is
+plain TC-Join over a single bucket) to expose the trade-off curve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import (
+    PROFILE,
+    T_M,
+    build_engine,
+    measured_maintenance,
+    record_row,
+    scenario_for,
+)
+
+FIGURE = "Ablation: MTB bucket granularity m (bucket length T_M/m)"
+
+
+@pytest.mark.parametrize("m", [1, 2, 4, 8])
+def test_ablation_buckets(m, benchmark):
+    scenario = scenario_for(PROFILE["default_n"])
+    engine = build_engine(scenario, "mtb", t_m=T_M, buckets_per_tm=m)
+    _driver, per_update = benchmark.pedantic(
+        lambda: measured_maintenance(engine, scenario, PROFILE["maintenance_steps"]),
+        rounds=1, iterations=1,
+    )
+    record_row(
+        FIGURE, f"m={m}", PROFILE["default_n"],
+        per_update.io_total,
+        per_update.pair_tests,
+        per_update.cpu_seconds,
+    )

@@ -1,0 +1,38 @@
+"""Ablation (beyond the paper's figures) — LRU buffer sensitivity.
+
+The paper fixes a 50-page LRU buffer (following the TP-query paper).
+This bench sweeps the buffer size to show how the MTB-Join maintenance
+I/O degrades as the buffer shrinks below the working set, and saturates
+once the hot node set is resident.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import (
+    PROFILE,
+    T_M,
+    build_engine,
+    measured_maintenance,
+    record_row,
+    scenario_for,
+)
+
+FIGURE = "Ablation: LRU buffer size (pages) for MTB-Join maintenance"
+
+
+@pytest.mark.parametrize("pages", [5, 10, 25, 50, 100, 200])
+def test_ablation_buffer(pages, benchmark):
+    scenario = scenario_for(PROFILE["default_n"])
+    engine = build_engine(scenario, "mtb", t_m=T_M, buffer_pages=pages)
+    _driver, per_update = benchmark.pedantic(
+        lambda: measured_maintenance(engine, scenario, PROFILE["maintenance_steps"]),
+        rounds=1, iterations=1,
+    )
+    record_row(
+        FIGURE, f"{pages} pages", PROFILE["default_n"],
+        per_update.io_total,
+        per_update.pair_tests,
+        per_update.cpu_seconds,
+    )

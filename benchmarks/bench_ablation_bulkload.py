@@ -1,0 +1,71 @@
+"""Ablation (beyond the paper's figures) — bulk loading vs insertion.
+
+The paper builds its TPR*-trees by repeated insertion.  The STR bulk
+loader (``repro.index.bulk``) is an engineering addition: this bench
+quantifies what it buys — construction cost — and what it costs — join
+quality of the packed tree versus the insert-built tree on the same
+Figure-8-style workload.
+"""
+
+from __future__ import annotations
+
+from _harness import PROFILE, T_M, record_row, scenario_for
+from repro.index import TPRStarTree, TreeStorage, bulk_load
+from repro.join import JoinTechniques, improved_join
+
+FIGURE = "Ablation: STR bulk load vs insertion build"
+
+
+def _measure(benchmark, build):
+    storage = TreeStorage()
+
+    def run():
+        storage.tracker.reset()
+        with storage.tracker.timed():
+            trees = build(storage)
+        build_cost = storage.tracker.snapshot()
+        storage.buffer.clear()
+        storage.tracker.reset()
+        with storage.tracker.timed():
+            improved_join(
+                trees[0], trees[1], 0.0, T_M, JoinTechniques.all(),
+                storage.tracker,
+            )
+        return build_cost, storage.tracker.snapshot()
+
+    return benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_insert_built(benchmark):
+    scenario = scenario_for(PROFILE["default_n"])
+
+    def build(storage):
+        trees = []
+        for dataset in (scenario.set_a, scenario.set_b):
+            tree = TPRStarTree(storage=storage, horizon=T_M)
+            for obj in dataset:
+                tree.insert(obj, 0.0)
+            trees.append(tree)
+        return trees
+
+    build_cost, join_cost = _measure(benchmark, build)
+    record_row(FIGURE, "insert: build", PROFILE["default_n"],
+               build_cost.io_total, build_cost.pair_tests, build_cost.cpu_seconds)
+    record_row(FIGURE, "insert: join", PROFILE["default_n"],
+               join_cost.io_total, join_cost.pair_tests, join_cost.cpu_seconds)
+
+
+def test_bulk_loaded(benchmark):
+    scenario = scenario_for(PROFILE["default_n"])
+
+    def build(storage):
+        return [
+            bulk_load(dataset, t0=0.0, storage=storage, horizon=T_M)
+            for dataset in (scenario.set_a, scenario.set_b)
+        ]
+
+    build_cost, join_cost = _measure(benchmark, build)
+    record_row(FIGURE, "bulk: build", PROFILE["default_n"],
+               build_cost.io_total, build_cost.pair_tests, build_cost.cpu_seconds)
+    record_row(FIGURE, "bulk: join", PROFILE["default_n"],
+               join_cost.io_total, join_cost.pair_tests, join_cost.cpu_seconds)

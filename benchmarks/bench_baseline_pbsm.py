@@ -1,0 +1,54 @@
+"""Related-work baseline (§VII) — PBSM vs tree-based initial join.
+
+Patel & DeWitt's partition-based spatial-merge join computes the
+intersection join without any index.  It cannot *maintain* a continuous
+answer (each run is from scratch), but it is the natural reference for
+the one-off initial join: how much of MTB-Join's initial cost is the
+traversal, and how much is inherent to the result size?
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import (
+    PROFILE,
+    T_M,
+    build_engine,
+    measured_initial_join,
+    record_row,
+    scenario_for,
+)
+from repro.join import pbsm_join
+from repro.metrics import CostTracker
+
+FIGURE = "Baseline (VII): PBSM (no index) vs MTB-Join initial join"
+
+
+@pytest.mark.parametrize("n", PROFILE["sizes"])
+def test_pbsm_initial(n, benchmark):
+    scenario = scenario_for(n)
+    tracker = CostTracker()
+
+    def run():
+        tracker.reset()
+        with tracker.timed():
+            return pbsm_join(
+                scenario.set_a, scenario.set_b, 0.0, T_M,
+                space_size=scenario.space_size, tracker=tracker,
+            )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result is not None
+    record_row(FIGURE, "PBSM", n, 0, tracker.pair_tests, tracker.cpu_seconds)
+
+
+@pytest.mark.parametrize("n", PROFILE["sizes"])
+def test_mtb_initial_reference(n, benchmark):
+    scenario = scenario_for(n)
+    engine = build_engine(scenario, "mtb", t_m=T_M)
+    benchmark.pedantic(lambda: measured_initial_join(engine), rounds=1, iterations=1)
+    tracker = engine.tracker
+    record_row(FIGURE, "MTB-Join", n,
+               tracker.page_reads + tracker.page_writes,
+               tracker.pair_tests, tracker.cpu_seconds)

@@ -1,0 +1,49 @@
+"""Extension — continuous self-join (interest management) scaling.
+
+The paper's introduction motivates intersection joins with interest
+management in large distributed simulations, which is a *self*-join of
+one entity set.  This bench scales the self-join engine across dataset
+sizes and reports the per-update maintenance cost — the metric that
+determines how many entities a single coordinator can sustain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import PROFILE, SEED, T_M, record_row, scenario_for
+from repro.core import ContinuousSelfJoinEngine, JoinConfig
+from repro.workloads import UpdateStream
+
+FIGURE = "Extension (intro): continuous self-join maintenance"
+
+
+@pytest.mark.parametrize("n", PROFILE["sizes"])
+def test_selfjoin_maintenance(n, benchmark):
+    scenario = scenario_for(n)
+    engine = ContinuousSelfJoinEngine(scenario.set_a, JoinConfig(t_m=T_M))
+    stream = UpdateStream(scenario, seed=SEED + 3)
+    shadow_b = {o.oid: o for o in scenario.set_b}
+    steps = PROFILE["maintenance_steps"]
+
+    def run():
+        engine.run_initial_join()
+        engine.tracker.reset()
+        updates = 0
+        with engine.tracker.timed():
+            for step in range(1, steps + 1):
+                t = float(step)
+                engine.tick(t)
+                for obj in stream.updates_for(t, {**engine.objects, **shadow_b}):
+                    if obj.oid in engine.objects:
+                        engine.apply_update(obj)
+                        updates += 1
+                    else:
+                        shadow_b[obj.oid] = obj
+        return max(1, updates), engine.tracker.snapshot()
+
+    updates, cost = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_update = cost.scaled(updates)
+    record_row(FIGURE, "self-join (MTB)", n,
+               per_update.io_total, per_update.pair_tests,
+               per_update.cpu_seconds)

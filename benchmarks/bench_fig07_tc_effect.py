@@ -1,0 +1,55 @@
+"""Figure 7 — Effect of TC processing on the initial join.
+
+Paper setup: the initial join computed with and without the time
+constraint, *no* improvement techniques, varying dataset size.  The
+"Non Time-Constrained" series is NaiveJoin over ``[0, ∞)``; the
+"Time-Constrained" series is the same traversal over ``[0, T_M]``.
+Paper observation: non-TC costs up to ~5× more I/O and response time,
+growing with dataset size (every node eventually overlaps every other
+node when the window is unbounded).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import PROFILE, T_M, build_engine, record_row, scenario_for
+from repro.geometry import INF
+from repro.join import naive_join
+
+FIGURE = "Figure 7: TC vs non-TC initial join (no improvement techniques)"
+
+
+def _run(n: int, constrained: bool, benchmark) -> None:
+    scenario = scenario_for(n)
+    engine = build_engine(scenario, "naive", t_m=T_M)
+    tree_a = engine._strategy.tree_a
+    tree_b = engine._strategy.tree_b
+    tracker = engine.tracker
+    t_end = T_M if constrained else INF
+
+    def initial_join():
+        engine.storage.buffer.clear()
+        tracker.reset()
+        with tracker.timed():
+            return naive_join(tree_a, tree_b, 0.0, t_end, tracker)
+
+    result = benchmark.pedantic(initial_join, rounds=1, iterations=1)
+    assert result, "initial join found no pairs — workload too sparse"
+    series = "Time-Constrained" if constrained else "Non Time-Constrained"
+    record_row(
+        FIGURE, series, n,
+        tracker.page_reads + tracker.page_writes,
+        tracker.pair_tests,
+        tracker.cpu_seconds,
+    )
+
+
+@pytest.mark.parametrize("n", PROFILE["naive_sizes"])
+def test_fig07_non_time_constrained(n, benchmark):
+    _run(n, constrained=False, benchmark=benchmark)
+
+
+@pytest.mark.parametrize("n", PROFILE["naive_sizes"])
+def test_fig07_time_constrained(n, benchmark):
+    _run(n, constrained=True, benchmark=benchmark)

@@ -1,0 +1,52 @@
+"""Figure 8 — Effect of the improvement techniques on join cost.
+
+Paper setup: the join computed over the *fixed* interval ``[0, T_M]``
+(so the time constraint is identical for every configuration) with the
+technique combinations None / IC / PS / DS+PS / IC+PS / ALL.
+
+Paper observations: response time falls monotonically as techniques are
+added, with a total speedup of ~6×; only PS reduces I/O (~60%), DS and
+IC cut CPU work; IC+PS beats DS+PS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import PROFILE, T_M, build_engine, record_row, scenario_for
+from repro.join import JoinTechniques, improved_join
+
+FIGURE = "Figure 8: improvement-technique ablation (fixed interval [0, T_M])"
+
+CONFIGS = [
+    ("None", JoinTechniques(use_ps=False, use_ds=False, use_ic=False)),
+    ("IC", JoinTechniques(use_ps=False, use_ds=False, use_ic=True)),
+    ("PS", JoinTechniques(use_ps=True, use_ds=False, use_ic=False)),
+    ("DS+PS", JoinTechniques(use_ps=True, use_ds=True, use_ic=False)),
+    ("IC+PS", JoinTechniques(use_ps=True, use_ds=False, use_ic=True)),
+    ("ALL", JoinTechniques(use_ps=True, use_ds=True, use_ic=True)),
+]
+
+
+@pytest.mark.parametrize("label,techniques", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_fig08_techniques(label, techniques, benchmark):
+    scenario = scenario_for(PROFILE["default_n"])
+    engine = build_engine(scenario, "tc", t_m=T_M)
+    tree_a = engine._strategy.tree_a
+    tree_b = engine._strategy.tree_b
+    tracker = engine.tracker
+
+    def join():
+        engine.storage.buffer.clear()
+        tracker.reset()
+        with tracker.timed():
+            return improved_join(tree_a, tree_b, 0.0, T_M, techniques, tracker)
+
+    result = benchmark.pedantic(join, rounds=1, iterations=1)
+    assert result, "join found no pairs — workload too sparse"
+    record_row(
+        FIGURE, label, PROFILE["default_n"],
+        tracker.page_reads + tracker.page_writes,
+        tracker.pair_tests,
+        tracker.cpu_seconds,
+    )

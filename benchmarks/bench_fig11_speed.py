@@ -1,0 +1,38 @@
+"""Figure 11 — Initial join cost vs maximum object speed.
+
+Paper setup: maximum speeds 1–5 (default workload otherwise), MTB-Join
+vs ETP-Join.  Paper observation: MTB-Join outperforms ETP-Join at every
+speed; cost grows with speed for both (faster objects sweep more space
+and meet more often).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import (
+    PROFILE,
+    T_M,
+    build_engine,
+    measured_initial_join,
+    record_row,
+    scenario_for,
+)
+
+FIGURE = "Figure 11: initial join vs maximum object speed"
+
+
+@pytest.mark.parametrize("speed", PROFILE["speeds"])
+@pytest.mark.parametrize("algorithm", ["etp", "mtb"])
+def test_fig11_speed(speed, algorithm, benchmark):
+    scenario = scenario_for(PROFILE["default_n"], max_speed=speed)
+    engine = build_engine(scenario, algorithm, t_m=T_M)
+    benchmark.pedantic(lambda: measured_initial_join(engine), rounds=1, iterations=1)
+    tracker = engine.tracker
+    series = "ETP-Join" if algorithm == "etp" else "MTB-Join"
+    record_row(
+        FIGURE, series, speed,
+        tracker.page_reads + tracker.page_writes,
+        tracker.pair_tests,
+        tracker.cpu_seconds,
+    )

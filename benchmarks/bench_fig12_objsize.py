@@ -1,0 +1,38 @@
+"""Figure 12 — Initial join cost vs moving-object size.
+
+Paper setup: object sides 0.05%–0.8% of the space side (default
+workload otherwise), MTB-Join vs ETP-Join.  Paper observation: MTB-Join
+wins at every size; bigger objects mean more intersections and higher
+absolute cost for both algorithms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import (
+    PROFILE,
+    T_M,
+    build_engine,
+    measured_initial_join,
+    record_row,
+    scenario_for,
+)
+
+FIGURE = "Figure 12: initial join vs object size (% of space side)"
+
+
+@pytest.mark.parametrize("size_pct", PROFILE["object_sizes"])
+@pytest.mark.parametrize("algorithm", ["etp", "mtb"])
+def test_fig12_objsize(size_pct, algorithm, benchmark):
+    scenario = scenario_for(PROFILE["default_n"], object_size_pct=size_pct)
+    engine = build_engine(scenario, algorithm, t_m=T_M)
+    benchmark.pedantic(lambda: measured_initial_join(engine), rounds=1, iterations=1)
+    tracker = engine.tracker
+    series = "ETP-Join" if algorithm == "etp" else "MTB-Join"
+    record_row(
+        FIGURE, series, f"{size_pct}%",
+        tracker.page_reads + tracker.page_writes,
+        tracker.pair_tests,
+        tracker.cpu_seconds,
+    )

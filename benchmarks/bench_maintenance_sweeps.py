@@ -1,0 +1,90 @@
+"""§VI-D.2 parameter sweeps — maintenance cost vs T_M, distribution,
+speed and object size.
+
+The paper reports that varying these parameters gives "very similar
+behavior" to Figure 13 (details deferred to the technical report).
+These benches regenerate the sweeps so the claim can be checked: in
+every cell MTB-Join's per-update cost should be a small fraction of
+ETP-Join's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import (
+    PROFILE,
+    T_M,
+    build_engine,
+    measured_maintenance,
+    record_row,
+    scenario_for,
+)
+from repro.workloads import DISTRIBUTIONS
+
+_N = max(200, PROFILE["default_n"] // 2)
+_STEPS = PROFILE["maintenance_steps"]
+_ALGOS = [("etp", "ETP-Join"), ("mtb", "MTB-Join")]
+
+
+def _record(figure: str, series: str, x, engine, per_update) -> None:
+    record_row(
+        figure, series, x,
+        per_update.io_total,
+        per_update.pair_tests,
+        per_update.cpu_seconds,
+    )
+
+
+@pytest.mark.parametrize("t_m", [60.0, 120.0, 240.0])
+@pytest.mark.parametrize("algorithm,series", _ALGOS)
+def test_sweep_maximum_update_interval(t_m, algorithm, series, benchmark):
+    scenario = scenario_for(_N, t_m=t_m)
+    engine = build_engine(scenario, algorithm, t_m=t_m)
+    _driver, per_update = benchmark.pedantic(
+        lambda: measured_maintenance(engine, scenario, _STEPS),
+        rounds=1, iterations=1,
+    )
+    _record("Sweep (VI-D.2): maintenance vs T_M", series, t_m, engine, per_update)
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+@pytest.mark.parametrize("algorithm,series", _ALGOS)
+def test_sweep_distribution(distribution, algorithm, series, benchmark):
+    scenario = scenario_for(_N, distribution=distribution)
+    engine = build_engine(scenario, algorithm, t_m=T_M)
+    _driver, per_update = benchmark.pedantic(
+        lambda: measured_maintenance(engine, scenario, _STEPS),
+        rounds=1, iterations=1,
+    )
+    _record(
+        "Sweep (VI-D.2): maintenance vs distribution",
+        series, distribution, engine, per_update,
+    )
+
+
+@pytest.mark.parametrize("speed", [1.0, 3.0, 5.0])
+@pytest.mark.parametrize("algorithm,series", _ALGOS)
+def test_sweep_speed(speed, algorithm, series, benchmark):
+    scenario = scenario_for(_N, max_speed=speed)
+    engine = build_engine(scenario, algorithm, t_m=T_M)
+    _driver, per_update = benchmark.pedantic(
+        lambda: measured_maintenance(engine, scenario, _STEPS),
+        rounds=1, iterations=1,
+    )
+    _record("Sweep (VI-D.2): maintenance vs max speed", series, speed, engine, per_update)
+
+
+@pytest.mark.parametrize("size_pct", [0.05, 0.2, 0.8])
+@pytest.mark.parametrize("algorithm,series", _ALGOS)
+def test_sweep_object_size(size_pct, algorithm, series, benchmark):
+    scenario = scenario_for(_N, object_size_pct=size_pct)
+    engine = build_engine(scenario, algorithm, t_m=T_M)
+    _driver, per_update = benchmark.pedantic(
+        lambda: measured_maintenance(engine, scenario, _STEPS),
+        rounds=1, iterations=1,
+    )
+    _record(
+        "Sweep (VI-D.2): maintenance vs object size",
+        series, f"{size_pct}%", engine, per_update,
+    )

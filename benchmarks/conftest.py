@@ -1,0 +1,24 @@
+"""Pytest glue for the benchmark suite: table printing at session end.
+
+See :mod:`_harness` for the actual harness; this file only wires the
+pytest hooks so that running ``pytest benchmarks/ --benchmark-only``
+prints the paper-figure tables after the pytest-benchmark summary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import emit_tables, record_row
+
+
+def pytest_sessionfinish(session, exitstatus):  # noqa: D103 - pytest hook
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    write = reporter.write_line if reporter else print
+    emit_tables(write)
+
+
+@pytest.fixture
+def figure_row():
+    """Fixture alias for :func:`_harness.record_row`."""
+    return record_row

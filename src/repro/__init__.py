@@ -1,0 +1,74 @@
+"""repro — Continuous Intersection Joins Over Moving Objects (ICDE 2008).
+
+A from-scratch reproduction of Zhang, Lin, Ramamohanarao & Bertino,
+*Continuous Intersection Joins Over Moving Objects*, ICDE 2008.
+
+The package provides:
+
+* a kinetic-geometry substrate (moving rectangles, exact intersection
+  intervals, plane sweep) — :mod:`repro.geometry`;
+* a simulated disk with pages and an LRU buffer — :mod:`repro.storage`;
+* TPR-tree, TPR*-tree and MTB-tree indexes — :mod:`repro.index`;
+* the join algorithms NaiveJoin, TP/ETP-Join, TC-Join, ImprovedJoin and
+  MTB-Join — :mod:`repro.join`;
+* a continuous-query engine with update streams — :mod:`repro.core`;
+* the paper's workload generators — :mod:`repro.workloads`;
+* §V extensions (TC window / kNN queries) and an exact-shape refinement
+  step — :mod:`repro.queries`, :mod:`repro.refine`.
+
+Quick start::
+
+    from repro import ContinuousJoinEngine, uniform_workload
+
+    scenario = uniform_workload(n_objects=200, seed=7)
+    engine = ContinuousJoinEngine.create(scenario.set_a, scenario.set_b,
+                                         algorithm="mtb")
+    engine.run_initial_join()
+    for pair in sorted(engine.result_at(engine.now)):
+        print(pair)
+"""
+
+from .geometry import (
+    INF,
+    Box,
+    KineticBox,
+    TimeInterval,
+    intersection_interval,
+)
+from .metrics import CostSnapshot, CostTracker
+from .objects import MovingObject
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "INF",
+    "Box",
+    "KineticBox",
+    "TimeInterval",
+    "intersection_interval",
+    "MovingObject",
+    "CostTracker",
+    "CostSnapshot",
+    "ContinuousJoinEngine",
+    "JoinConfig",
+    "uniform_workload",
+    "gaussian_workload",
+    "battlefield_workload",
+]
+
+
+def __getattr__(name: str):  # pragma: no cover - thin lazy-import shim
+    """Lazily expose the heavier subpackages at the top level.
+
+    Keeps ``import repro`` cheap while still allowing
+    ``repro.ContinuousJoinEngine`` etc. in examples and docs.
+    """
+    if name in ("ContinuousJoinEngine", "JoinConfig"):
+        from . import core
+
+        return getattr(core, name)
+    if name in ("uniform_workload", "gaussian_workload", "battlefield_workload"):
+        from . import workloads
+
+        return getattr(workloads, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,242 @@
+"""Command-line interface: run experiments without writing code.
+
+Subcommands
+-----------
+
+``generate``
+    Generate a workload and print its summary statistics.
+``run``
+    Run a continuous join (initial join + maintenance simulation) with
+    one algorithm and print per-step and amortized costs.
+``compare``
+    Run the same scenario under several algorithms and print a
+    comparison table (the quick-look version of the paper's Figure 13).
+``stats``
+    Build an index over a workload and print tree-quality statistics.
+
+Examples::
+
+    python -m repro run --algorithm mtb --objects 1000 --steps 20
+    python -m repro compare --objects 500 --algorithms tc,mtb,etp
+    python -m repro stats --objects 2000 --bulk-load
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core import ContinuousJoinEngine, JoinConfig, SimulationDriver
+from .index import TPRStarTree, bulk_load, collect_tree_stats
+from .workloads import (
+    DISTRIBUTIONS,
+    UpdateStream,
+    load_scenario,
+    make_workload,
+    save_scenario,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Continuous intersection joins over moving objects "
+        "(ICDE 2008 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--objects", type=int, default=500,
+                       help="objects per dataset (default 500)")
+        p.add_argument("--distribution", choices=DISTRIBUTIONS,
+                       default="uniform")
+        p.add_argument("--max-speed", type=float, default=2.0)
+        p.add_argument("--object-size", type=float, default=0.1,
+                       help="object side as %% of space side")
+        p.add_argument("--tm", type=float, default=60.0,
+                       help="maximum update interval T_M")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--scenario", metavar="PATH", default=None,
+                       help="load the workload from a saved JSON scenario "
+                            "instead of generating one")
+
+    p_gen = sub.add_parser("generate", help="generate and describe a workload")
+    add_workload_args(p_gen)
+    p_gen.add_argument("--save", metavar="PATH", default=None,
+                       help="also save the generated scenario as JSON")
+
+    p_run = sub.add_parser("run", help="run one continuous join")
+    add_workload_args(p_run)
+    p_run.add_argument("--algorithm", choices=("naive", "etp", "tc", "mtb"),
+                       default="mtb")
+    p_run.add_argument("--steps", type=int, default=10,
+                       help="maintenance timestamps to simulate")
+
+    p_cmp = sub.add_parser("compare", help="compare algorithms on one scenario")
+    add_workload_args(p_cmp)
+    p_cmp.add_argument("--algorithms", default="tc,mtb",
+                       help="comma-separated list, e.g. tc,mtb,etp")
+    p_cmp.add_argument("--steps", type=int, default=10)
+
+    p_stats = sub.add_parser("stats", help="index-quality statistics")
+    add_workload_args(p_stats)
+    p_stats.add_argument("--bulk-load", action="store_true",
+                         help="build via STR bulk loading instead of inserts")
+
+    p_show = sub.add_parser("show", help="ASCII animation of a running join")
+    add_workload_args(p_show)
+    p_show.add_argument("--steps", type=int, default=5,
+                        help="timestamps to render")
+    p_show.add_argument("--width", type=int, default=72)
+    p_show.add_argument("--height", type=int, default=20)
+    return parser
+
+
+def _scenario(args: argparse.Namespace):
+    if getattr(args, "scenario", None):
+        scenario = load_scenario(args.scenario)
+        # The engine's T_M must match the scenario's update contract —
+        # a smaller engine T_M would break the Theorem-1 guarantee.
+        args.tm = scenario.t_m
+        return scenario
+    return make_workload(
+        args.objects,
+        args.distribution,
+        max_speed=args.max_speed,
+        object_size_pct=args.object_size,
+        t_m=args.tm,
+        seed=args.seed,
+    )
+
+
+def _cmd_generate(args: argparse.Namespace, out) -> int:
+    scenario = _scenario(args)
+    out.write(f"distribution : {scenario.distribution}\n")
+    out.write(f"objects      : {scenario.n_objects} per set\n")
+    out.write(f"space        : {scenario.space_size:g} x {scenario.space_size:g}\n")
+    out.write(f"object side  : {scenario.object_side:g}\n")
+    out.write(f"max speed    : {scenario.max_speed:g}\n")
+    out.write(f"T_M          : {scenario.t_m:g}\n")
+    xs = [o.kbox.mbr.center[0] for o in scenario.set_a]
+    out.write(f"A centroid x : {sum(xs) / len(xs):.1f}\n")
+    xs_b = [o.kbox.mbr.center[0] for o in scenario.set_b]
+    out.write(f"B centroid x : {sum(xs_b) / len(xs_b):.1f}\n")
+    if args.save:
+        save_scenario(scenario, args.save)
+        out.write(f"saved        : {args.save}\n")
+    return 0
+
+
+def _run_one(args: argparse.Namespace, algorithm: str, out, verbose: bool):
+    scenario = _scenario(args)
+    engine = ContinuousJoinEngine.create(
+        scenario.set_a, scenario.set_b, algorithm=algorithm,
+        config=JoinConfig(t_m=args.tm),
+    )
+    initial = engine.run_initial_join()
+    driver = SimulationDriver(engine, UpdateStream(scenario, seed=args.seed + 1))
+    engine.tracker.reset()
+    for _ in range(args.steps):
+        stats = driver.step()
+        if verbose:
+            out.write(
+                f"t={stats.timestamp:5.0f}  updates={stats.n_updates:4d}  "
+                f"pairs={stats.result_size:5d}  io={stats.cost.io_total:5d}  "
+                f"tests={stats.cost.pair_tests:7d}\n"
+            )
+    per_update = driver.amortized_cost()
+    return initial, per_update, len(engine.result_at())
+
+
+def _cmd_run(args: argparse.Namespace, out) -> int:
+    initial, per_update, pairs = _run_one(args, args.algorithm, out, verbose=True)
+    out.write(f"\ninitial join : {initial.io_total} I/Os, "
+              f"{initial.pair_tests} pair tests, {initial.cpu_seconds:.3f}s\n")
+    out.write(f"per update   : {per_update.io_total} I/Os, "
+              f"{per_update.pair_tests} pair tests, "
+              f"{per_update.cpu_seconds * 1e3:.3f} ms\n")
+    out.write(f"current pairs: {pairs}\n")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace, out) -> int:
+    algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    out.write(
+        f"{'algorithm':>10s} {'init io':>9s} {'init tests':>11s} "
+        f"{'io/upd':>8s} {'tests/upd':>10s} {'ms/upd':>8s}\n"
+    )
+    for algorithm in algorithms:
+        initial, per_update, _pairs = _run_one(args, algorithm, out, verbose=False)
+        out.write(
+            f"{algorithm:>10s} {initial.io_total:9d} {initial.pair_tests:11d} "
+            f"{per_update.io_total:8d} {per_update.pair_tests:10d} "
+            f"{per_update.cpu_seconds * 1e3:8.3f}\n"
+        )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace, out) -> int:
+    scenario = _scenario(args)
+    if args.bulk_load:
+        tree = bulk_load(scenario.set_a, t0=0.0, horizon=args.tm)
+        how = "bulk-loaded (STR)"
+    else:
+        tree = TPRStarTree(horizon=args.tm)
+        for obj in scenario.set_a:
+            tree.insert(obj, 0.0)
+        how = "insert-built"
+    stats = collect_tree_stats(tree, 0.0)
+    out.write(f"tree           : {how}\n")
+    out.write(f"objects        : {stats.object_count}\n")
+    out.write(f"height         : {stats.height}\n")
+    out.write(f"nodes          : {stats.node_count} ({stats.leaf_count} leaves)\n")
+    out.write(f"avg fanout     : {stats.avg_fanout:.1f}\n")
+    out.write(f"avg leaf fill  : {stats.avg_leaf_fill:.0%}\n")
+    out.write(f"sibling overlap: {stats.sibling_overlap_area:.1f}\n")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace, out) -> int:
+    from .viz import render_frame, render_legend
+
+    scenario = _scenario(args)
+    engine = ContinuousJoinEngine.create(
+        scenario.set_a, scenario.set_b, algorithm="mtb",
+        config=JoinConfig(t_m=args.tm),
+    )
+    engine.run_initial_join()
+    driver = SimulationDriver(engine, UpdateStream(scenario, seed=args.seed + 1))
+    out.write(render_legend() + "\n")
+    for step in range(args.steps + 1):
+        pairs = engine.result_at()
+        out.write(f"\n--- t={engine.now:g}  pairs={len(pairs)} ---\n")
+        out.write(
+            render_frame(
+                engine.objects_a.values(), engine.objects_b.values(),
+                engine.now, scenario.space_size,
+                width=args.width, height=args.height, pairs=pairs,
+            )
+            + "\n"
+        )
+        if step < args.steps:
+            driver.step()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    if out is None:
+        out = sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "stats": _cmd_stats,
+        "show": _cmd_show,
+    }
+    return handlers[args.command](args, out)

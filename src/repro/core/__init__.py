@@ -1,0 +1,20 @@
+"""The continuous-join core: engine, result store, clock, config."""
+
+from .config import JoinConfig
+from .engine import ALGORITHMS, ContinuousJoinEngine
+from .events import ChangeMonitor, ResultDelta
+from .result import JoinResultStore
+from .selfjoin import ContinuousSelfJoinEngine
+from .simulation import SimulationDriver, StepStats
+
+__all__ = [
+    "JoinConfig",
+    "ContinuousJoinEngine",
+    "ContinuousSelfJoinEngine",
+    "ALGORITHMS",
+    "JoinResultStore",
+    "SimulationDriver",
+    "StepStats",
+    "ChangeMonitor",
+    "ResultDelta",
+]

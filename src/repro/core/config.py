@@ -1,0 +1,59 @@
+"""Experiment configuration: the knobs of the paper's Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..index import DEFAULT_BUCKETS_PER_TM, DEFAULT_NODE_CAPACITY
+from ..storage import DEFAULT_BUFFER_PAGES, DEFAULT_PAGE_SIZE
+
+__all__ = ["JoinConfig"]
+
+
+@dataclass(frozen=True)
+class JoinConfig:
+    """Parameters shared by engine, indexes and workloads.
+
+    Defaults follow the paper's Table I (bold values): 1000×1000 space
+    domain, node capacity 30, maximum update interval ``T_M = 60``
+    timestamps, 4 KiB pages behind a 50-page LRU buffer, and MTB time
+    buckets of length ``T_M / 2``.
+    """
+
+    #: Side length of the square space domain.
+    space_size: float = 1000.0
+    #: Maximum update interval ``T_M`` (timestamps).
+    t_m: float = 60.0
+    #: Maximum entries per tree node.
+    node_capacity: int = DEFAULT_NODE_CAPACITY
+    #: Simulated disk page size in bytes.
+    page_size: int = DEFAULT_PAGE_SIZE
+    #: LRU buffer capacity in pages (shared by all trees).
+    buffer_pages: int = DEFAULT_BUFFER_PAGES
+    #: MTB bucket granularity ``m`` — bucket length is ``t_m / m``.
+    buckets_per_tm: int = DEFAULT_BUCKETS_PER_TM
+    #: TPR insertion horizon ``H``; ``None`` means ``t_m``.
+    horizon: Optional[float] = None
+    #: Extra sanity checking inside the engine (slow; used by tests).
+    validate: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.space_size <= 0:
+            raise ValueError("space_size must be positive")
+        if self.t_m <= 0:
+            raise ValueError("t_m must be positive")
+        if self.buckets_per_tm < 1:
+            raise ValueError("buckets_per_tm must be >= 1")
+        if self.horizon is not None and self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+
+    @property
+    def effective_horizon(self) -> float:
+        """The TPR insertion horizon actually used."""
+        return self.horizon if self.horizon is not None else self.t_m
+
+    @property
+    def bucket_length(self) -> float:
+        """Length of one MTB time bucket."""
+        return self.t_m / self.buckets_per_tm

@@ -1,0 +1,394 @@
+"""The continuous-join engine: initial join plus maintenance.
+
+:class:`ContinuousJoinEngine` owns the two datasets, the indexes, the
+maintained answer, and the cost accounting, and delegates the actual
+query processing to one of four interchangeable strategies:
+
+========  ==========================================================
+``naive``  NaiveJoin: per-update joins over ``[t, ∞)`` (paper §II-C)
+``etp``    ETP-Join: TP-join re-run on every result change (§III)
+``tc``     TC-Join: Theorem-1 window ``[t, t + T_M]`` on single trees
+``mtb``    MTB-Join: Theorem-2 bucketed windows + PS/DS/IC (§IV)
+========  ==========================================================
+
+The engine is clock-driven: :meth:`tick` advances time (letting ETP
+process its due events), :meth:`apply_update` feeds object updates, and
+:meth:`result_at` reports the currently intersecting pairs — which every
+strategy must keep equal to the brute-force answer at all times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..geometry import INF
+from ..index import MTBTree, TPRStarTree, TreeStorage
+from ..join import (
+    JoinTechniques,
+    JoinTriple,
+    influence_scan,
+    mtb_join,
+    mtb_join_object,
+    naive_join,
+    tc_join,
+    tp_join,
+)
+from ..metrics import CostSnapshot, CostTracker
+from ..objects import MovingObject
+from .config import JoinConfig
+from .result import JoinResultStore
+
+__all__ = ["ContinuousJoinEngine", "ALGORITHMS"]
+
+PairKey = Tuple[int, int]
+
+ALGORITHMS = ("naive", "etp", "tc", "mtb")
+
+
+class ContinuousJoinEngine:
+    """Continuous intersection join over two moving-object sets."""
+
+    def __init__(
+        self,
+        objects_a: Iterable[MovingObject],
+        objects_b: Iterable[MovingObject],
+        algorithm: str = "mtb",
+        config: Optional[JoinConfig] = None,
+        techniques: Optional[JoinTechniques] = None,
+        start_time: float = 0.0,
+    ):
+        if algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {algorithm!r}; pick from {ALGORITHMS}")
+        self.config = config if config is not None else JoinConfig()
+        self.algorithm = algorithm
+        self.now = float(start_time)
+        self.objects_a: Dict[int, MovingObject] = {o.oid: o for o in objects_a}
+        self.objects_b: Dict[int, MovingObject] = {o.oid: o for o in objects_b}
+        overlap = self.objects_a.keys() & self.objects_b.keys()
+        if overlap:
+            raise ValueError(f"object ids shared across datasets: {sorted(overlap)[:5]}")
+        self.storage = TreeStorage(
+            page_size=self.config.page_size,
+            buffer_pages=self.config.buffer_pages,
+        )
+        self.tracker: CostTracker = self.storage.tracker
+        self._strategy = _make_strategy(algorithm, self, techniques)
+        with self.tracker.timed():
+            self._strategy.build(self.now)
+        self.build_cost: CostSnapshot = self.tracker.snapshot()
+        self.initial_join_cost: Optional[CostSnapshot] = None
+        self.update_count = 0
+
+    # ------------------------------------------------------------------
+    # Convenience constructor
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        objects_a: Iterable[MovingObject],
+        objects_b: Iterable[MovingObject],
+        algorithm: str = "mtb",
+        config: Optional[JoinConfig] = None,
+        techniques: Optional[JoinTechniques] = None,
+        start_time: float = 0.0,
+    ) -> "ContinuousJoinEngine":
+        """Build indexes over the two datasets and return the engine."""
+        return cls(objects_a, objects_b, algorithm, config, techniques, start_time)
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def run_initial_join(self) -> CostSnapshot:
+        """Compute the initial answer; returns the cost of this phase."""
+        before = self.tracker.snapshot()
+        with self.tracker.timed():
+            self._strategy.initial_join(self.now)
+        self.initial_join_cost = self.tracker.snapshot() - before
+        return self.initial_join_cost
+
+    def tick(self, t: float) -> None:
+        """Advance the clock to ``t`` (monotone non-decreasing)."""
+        if t < self.now:
+            raise ValueError(f"time went backwards: {t} < {self.now}")
+        self.now = t
+        with self.tracker.timed():
+            self._strategy.on_tick(t)
+
+    def apply_update(self, obj: MovingObject) -> None:
+        """Process one object update at the current timestamp.
+
+        The object's dataset is inferred from its id; its stored motion
+        is replaced and the maintained answer repaired.
+        """
+        if obj.oid in self.objects_a:
+            dataset = "a"
+            self.objects_a[obj.oid] = obj
+        elif obj.oid in self.objects_b:
+            dataset = "b"
+            self.objects_b[obj.oid] = obj
+        else:
+            raise KeyError(f"unknown object id {obj.oid}")
+        self.update_count += 1
+        with self.tracker.timed():
+            self._strategy.on_update(obj, dataset, self.now)
+
+    def result_at(self, t: Optional[float] = None) -> Set[PairKey]:
+        """Currently intersecting ``(a_oid, b_oid)`` pairs at time ``t``."""
+        if t is None:
+            t = self.now
+        if not self.now <= t:
+            raise ValueError("result_at only answers the present of the engine clock")
+        return self._strategy.result_at(t)
+
+    def prune_expired(self) -> int:
+        """Garbage-collect result intervals wholly in the past.
+
+        Long-running simulations accumulate intervals that ended before
+        the current timestamp; pruning them bounds the result store.
+        Returns the number of pairs dropped (0 for the ETP strategy,
+        which keeps no intervals).
+        """
+        store = getattr(self._strategy, "store", None)
+        if store is None:
+            return 0
+        return store.prune_expired(self.now)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"ContinuousJoinEngine(algorithm={self.algorithm!r}, "
+            f"|A|={len(self.objects_a)}, |B|={len(self.objects_b)}, "
+            f"now={self.now:g})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+class _IntervalStrategy:
+    """Shared plumbing for strategies that maintain interval results."""
+
+    def __init__(self, engine: ContinuousJoinEngine):
+        self.engine = engine
+        self.store = JoinResultStore()
+
+    # Orientation helper: results are always keyed (a_oid, b_oid).
+    def _oriented(
+        self, triples: Iterable[JoinTriple], updated_dataset: str
+    ) -> Iterable[JoinTriple]:
+        if updated_dataset == "a":
+            return triples
+        return (JoinTriple(t.b_oid, t.a_oid, t.interval) for t in triples)
+
+    def on_tick(self, t: float) -> None:
+        """Interval stores need no event processing."""
+
+    def result_at(self, t: float) -> Set[PairKey]:
+        return self.store.pairs_at(t)
+
+
+class _NaiveStrategy(_IntervalStrategy):
+    """Per-update joins over the unbounded window (paper §II-C)."""
+
+    def build(self, t0: float) -> None:
+        engine = self.engine
+        self.tree_a = TPRStarTree(
+            storage=engine.storage,
+            node_capacity=engine.config.node_capacity,
+            horizon=engine.config.effective_horizon,
+        )
+        self.tree_b = TPRStarTree(
+            storage=engine.storage,
+            node_capacity=engine.config.node_capacity,
+            horizon=engine.config.effective_horizon,
+        )
+        for obj in engine.objects_a.values():
+            self.tree_a.insert(obj, t0)
+        for obj in engine.objects_b.values():
+            self.tree_b.insert(obj, t0)
+
+    def initial_join(self, t0: float) -> None:
+        self.store.add_all(iter(naive_join(self.tree_a, self.tree_b, t0, INF)))
+
+    def on_update(self, obj: MovingObject, dataset: str, t: float) -> None:
+        own, other = (
+            (self.tree_a, self.tree_b) if dataset == "a" else (self.tree_b, self.tree_a)
+        )
+        own.update(obj, t)
+        self.store.remove_object(obj.oid)
+        triples = [
+            JoinTriple(obj.oid, other_oid, interval)
+            for other_oid, interval in other.search(obj.kbox, t, INF)
+        ]
+        self.store.add_all(iter(self._oriented(triples, dataset)))
+
+
+class _TCStrategy(_IntervalStrategy):
+    """Theorem-1 windows on single TPR*-trees (§IV-B)."""
+
+    def __init__(
+        self, engine: ContinuousJoinEngine, techniques: Optional[JoinTechniques]
+    ):
+        super().__init__(engine)
+        self.techniques = techniques
+
+    def build(self, t0: float) -> None:
+        engine = self.engine
+        self.tree_a = TPRStarTree(
+            storage=engine.storage,
+            node_capacity=engine.config.node_capacity,
+            horizon=engine.config.effective_horizon,
+        )
+        self.tree_b = TPRStarTree(
+            storage=engine.storage,
+            node_capacity=engine.config.node_capacity,
+            horizon=engine.config.effective_horizon,
+        )
+        for obj in engine.objects_a.values():
+            self.tree_a.insert(obj, t0)
+        for obj in engine.objects_b.values():
+            self.tree_b.insert(obj, t0)
+
+    def initial_join(self, t0: float) -> None:
+        triples = tc_join(
+            self.tree_a, self.tree_b, t0, self.engine.config.t_m, self.techniques
+        )
+        self.store.add_all(iter(triples))
+
+    def on_update(self, obj: MovingObject, dataset: str, t: float) -> None:
+        own, other = (
+            (self.tree_a, self.tree_b) if dataset == "a" else (self.tree_b, self.tree_a)
+        )
+        own.update(obj, t)
+        self.store.remove_object(obj.oid)
+        t_end = t + self.engine.config.t_m
+        triples = [
+            JoinTriple(obj.oid, other_oid, interval)
+            for other_oid, interval in other.search(obj.kbox, t, t_end)
+        ]
+        self.store.add_all(iter(self._oriented(triples, dataset)))
+
+
+class _MTBStrategy(_IntervalStrategy):
+    """Theorem-2 bucketed windows with the §IV-D techniques."""
+
+    def __init__(
+        self, engine: ContinuousJoinEngine, techniques: Optional[JoinTechniques]
+    ):
+        super().__init__(engine)
+        self.techniques = techniques if techniques is not None else JoinTechniques.all()
+
+    def build(self, t0: float) -> None:
+        engine = self.engine
+        self.forest_a = MTBTree(
+            t_m=engine.config.t_m,
+            storage=engine.storage,
+            buckets_per_tm=engine.config.buckets_per_tm,
+            node_capacity=engine.config.node_capacity,
+        )
+        self.forest_b = MTBTree(
+            t_m=engine.config.t_m,
+            storage=engine.storage,
+            buckets_per_tm=engine.config.buckets_per_tm,
+            node_capacity=engine.config.node_capacity,
+        )
+        for obj in engine.objects_a.values():
+            self.forest_a.insert(obj, t0)
+        for obj in engine.objects_b.values():
+            self.forest_b.insert(obj, t0)
+
+    def initial_join(self, t0: float) -> None:
+        triples = mtb_join(self.forest_a, self.forest_b, t0, self.techniques)
+        self.store.add_all(iter(triples))
+
+    def on_update(self, obj: MovingObject, dataset: str, t: float) -> None:
+        own, other = (
+            (self.forest_a, self.forest_b)
+            if dataset == "a"
+            else (self.forest_b, self.forest_a)
+        )
+        own.update(obj, t)
+        self.store.remove_object(obj.oid)
+        triples = mtb_join_object(other, obj.kbox, obj.oid, t)
+        self.store.add_all(iter(self._oriented(triples, dataset)))
+
+
+class _ETPStrategy:
+    """ETP-Join: event-driven TP-join re-evaluation (§III)."""
+
+    def __init__(self, engine: ContinuousJoinEngine):
+        self.engine = engine
+        self.current: Set[PairKey] = set()
+        self.expiry: float = INF
+        #: Number of full TP-join traversals run (diagnostics).
+        self.tp_runs = 0
+
+    def build(self, t0: float) -> None:
+        engine = self.engine
+        self.tree_a = TPRStarTree(
+            storage=engine.storage,
+            node_capacity=engine.config.node_capacity,
+            horizon=engine.config.effective_horizon,
+        )
+        self.tree_b = TPRStarTree(
+            storage=engine.storage,
+            node_capacity=engine.config.node_capacity,
+            horizon=engine.config.effective_horizon,
+        )
+        for obj in engine.objects_a.values():
+            self.tree_a.insert(obj, t0)
+        for obj in engine.objects_b.values():
+            self.tree_b.insert(obj, t0)
+
+    def initial_join(self, t0: float) -> None:
+        self._refresh(t0)
+
+    def on_tick(self, t: float) -> None:
+        # Re-run the TP join at every result change due before t — this
+        # event-chasing is precisely what makes ETP-Join expensive.
+        while self.expiry <= t:
+            self._refresh(self.expiry)
+
+    def on_update(self, obj: MovingObject, dataset: str, t: float) -> None:
+        own, other = (
+            (self.tree_a, self.tree_b) if dataset == "a" else (self.tree_b, self.tree_a)
+        )
+        own.update(obj, t)
+        self.current = {key for key in self.current if obj.oid not in key}
+        triples, min_inf = influence_scan(other, obj.kbox, t)
+        for triple in triples:
+            # Same validity convention as tp_join: the pair counts as
+            # current only if it persists beyond this instant.
+            if triple.interval.start <= t < triple.interval.end:
+                if dataset == "a":
+                    self.current.add((obj.oid, triple.b_oid))
+                else:
+                    self.current.add((triple.b_oid, obj.oid))
+        if min_inf < self.expiry:
+            self.expiry = min_inf
+
+    def result_at(self, t: float) -> Set[PairKey]:
+        self.on_tick(t)
+        return set(self.current)
+
+    def _refresh(self, t: float) -> None:
+        answer = tp_join(self.tree_a, self.tree_b, t)
+        self.tp_runs += 1
+        self.current = set(answer.pairs)
+        if answer.expiry <= t:
+            raise AssertionError("TP join produced a non-advancing expiry")
+        self.expiry = answer.expiry
+
+
+def _make_strategy(
+    algorithm: str,
+    engine: ContinuousJoinEngine,
+    techniques: Optional[JoinTechniques],
+):
+    if algorithm == "naive":
+        return _NaiveStrategy(engine)
+    if algorithm == "etp":
+        return _ETPStrategy(engine)
+    if algorithm == "tc":
+        return _TCStrategy(engine, techniques)
+    return _MTBStrategy(engine, techniques)

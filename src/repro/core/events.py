@@ -1,0 +1,83 @@
+"""Change notification: who entered, who left, since the last look.
+
+Downstream applications of the continuous join (the paper's dispatcher,
+battlefield alerting, interest management) rarely want the full answer
+set every tick — they want the *delta*: which pairs started intersecting
+and which stopped.  :class:`ResultDelta` diffs snapshots;
+:class:`ChangeMonitor` wraps an engine and invokes callbacks as the
+simulation advances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, NamedTuple, Optional, Set, Tuple
+
+from .engine import ContinuousJoinEngine
+
+__all__ = ["ResultDelta", "ChangeMonitor"]
+
+PairKey = Tuple[int, int]
+Callback = Callable[[float, "ResultDelta"], None]
+
+
+class ResultDelta(NamedTuple):
+    """Pairs that entered and left the answer between two snapshots."""
+
+    entered: FrozenSet[PairKey]
+    left: FrozenSet[PairKey]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entered and not self.left
+
+    @staticmethod
+    def between(before: Set[PairKey], after: Set[PairKey]) -> "ResultDelta":
+        """The delta turning ``before`` into ``after``."""
+        return ResultDelta(frozenset(after - before), frozenset(before - after))
+
+
+class ChangeMonitor:
+    """Tracks an engine's answer and notifies on every change.
+
+    >>> # engine = ContinuousJoinEngine.create(...); engine.run_initial_join()
+    >>> # monitor = ChangeMonitor(engine, on_change=lambda t, d: print(t, d))
+    >>> # ... advance the engine, then call monitor.poll() each tick.
+    """
+
+    def __init__(
+        self,
+        engine: ContinuousJoinEngine,
+        on_change: Optional[Callback] = None,
+    ):
+        self.engine = engine
+        self._last: Set[PairKey] = set(engine.result_at(engine.now))
+        self._callbacks: list = [on_change] if on_change is not None else []
+        #: Cumulative counts, handy for tests and dashboards.
+        self.total_entered = 0
+        self.total_left = 0
+
+    def subscribe(self, callback: Callback) -> None:
+        """Register an additional change callback."""
+        self._callbacks.append(callback)
+
+    def poll(self) -> ResultDelta:
+        """Diff the engine's current answer against the last poll.
+
+        Invokes every callback with ``(now, delta)`` when the delta is
+        non-empty.  Returns the delta either way.
+        """
+        now = self.engine.now
+        current = set(self.engine.result_at(now))
+        delta = ResultDelta.between(self._last, current)
+        self._last = current
+        if not delta.is_empty:
+            self.total_entered += len(delta.entered)
+            self.total_left += len(delta.left)
+            for callback in self._callbacks:
+                callback(now, delta)
+        return delta
+
+    @property
+    def current_pairs(self) -> Set[PairKey]:
+        """The answer as of the last poll."""
+        return set(self._last)

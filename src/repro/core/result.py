@@ -1,0 +1,112 @@
+"""The maintained continuous-join answer.
+
+The continuous query must present, at every timestamp, all currently
+intersecting pairs.  Algorithms that compute *intervals* (NaiveJoin,
+TC-Join, MTB-Join) feed this store: it maps pair → merged interval list
+and answers "which pairs hold at time t" by interval lookup.
+
+Maintenance contract (Theorems 1 & 2): when an object updates, every
+stored prediction involving it becomes stale from the update time on —
+:meth:`remove_object` drops them, after which the fresh per-object join
+re-adds the valid ones.  The store also supports :meth:`prune_expired`
+garbage collection of intervals wholly in the past.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..geometry import TimeInterval, merge_intervals
+from ..join import JoinTriple
+
+__all__ = ["JoinResultStore"]
+
+PairKey = Tuple[int, int]
+
+
+class JoinResultStore:
+    """Pair → interval-list map with per-object invalidation."""
+
+    def __init__(self) -> None:
+        self._pairs: Dict[PairKey, List[TimeInterval]] = {}
+        self._by_oid: Dict[int, Set[PairKey]] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, triple: JoinTriple) -> None:
+        """Record (or extend) a pair's intersection interval."""
+        key = triple.key()
+        intervals = self._pairs.get(key)
+        if intervals is None:
+            self._pairs[key] = [triple.interval]
+            self._by_oid.setdefault(triple.a_oid, set()).add(key)
+            self._by_oid.setdefault(triple.b_oid, set()).add(key)
+        else:
+            intervals.append(triple.interval)
+            self._pairs[key] = merge_intervals(intervals)
+
+    def add_all(self, triples: Iterator[JoinTriple]) -> None:
+        for triple in triples:
+            self.add(triple)
+
+    def remove_object(self, oid: int) -> int:
+        """Drop every pair involving ``oid``; returns how many."""
+        keys = self._by_oid.pop(oid, set())
+        for key in keys:
+            self._pairs.pop(key, None)
+            other = key[1] if key[0] == oid else key[0]
+            other_keys = self._by_oid.get(other)
+            if other_keys is not None:
+                other_keys.discard(key)
+                if not other_keys:
+                    del self._by_oid[other]
+        return len(keys)
+
+    def prune_expired(self, t: float) -> int:
+        """Discard intervals that ended before ``t``; returns pairs dropped."""
+        dead: List[PairKey] = []
+        for key, intervals in self._pairs.items():
+            alive = [iv for iv in intervals if iv.end >= t]
+            if alive:
+                self._pairs[key] = alive
+            else:
+                dead.append(key)
+        for key in dead:
+            del self._pairs[key]
+            for oid in key:
+                keys = self._by_oid.get(oid)
+                if keys is not None:
+                    keys.discard(key)
+                    if not keys:
+                        del self._by_oid[oid]
+        return len(dead)
+
+    def clear(self) -> None:
+        self._pairs.clear()
+        self._by_oid.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def pairs_at(self, t: float) -> Set[PairKey]:
+        """The continuous-join answer at timestamp ``t``."""
+        return {
+            key
+            for key, intervals in self._pairs.items()
+            if any(iv.contains(t) for iv in intervals)
+        }
+
+    def intervals_for(self, key: PairKey) -> List[TimeInterval]:
+        """Stored intervals for a pair (empty when unknown)."""
+        return list(self._pairs.get(key, []))
+
+    def __len__(self) -> int:
+        """Number of distinct pairs with any stored interval."""
+        return len(self._pairs)
+
+    def __contains__(self, key: PairKey) -> bool:
+        return key in self._pairs
+
+    def __repr__(self) -> str:
+        return f"JoinResultStore(pairs={len(self._pairs)})"

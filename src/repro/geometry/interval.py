@@ -1,0 +1,163 @@
+"""Closed time intervals, possibly unbounded to the right.
+
+The join algorithms in this package reason about *when* two moving
+rectangles intersect.  Those answers are closed intervals ``[start, end]``
+on the time axis, where ``end`` may be ``math.inf`` (the paper writes this
+as the "infinite timestamp").  This module provides a small, exact
+interval algebra used throughout :mod:`repro.geometry` and
+:mod:`repro.join`.
+
+All operations treat intervals as *closed*: two intervals that share only
+an endpoint still intersect.  This matches the paper's semantics, where a
+pair of objects that touch at a single timestamp is reported at that
+timestamp.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+__all__ = ["INF", "TimeInterval", "merge_intervals"]
+
+INF = math.inf
+_EPS = 1e-9
+
+
+class TimeInterval:
+    """A closed interval ``[start, end]`` on the time axis.
+
+    ``end`` may be :data:`math.inf` for an unbounded interval.  Instances
+    are immutable and hashable; degenerate intervals (``start == end``)
+    are allowed and represent a single timestamp.
+
+    >>> TimeInterval(1, 4).intersect(TimeInterval(3, 9))
+    TimeInterval(3, 4)
+    >>> TimeInterval(0, INF).contains(1e12)
+    True
+    """
+
+    __slots__ = ("start", "end")
+
+    def __init__(self, start: float, end: float):
+        if math.isnan(start) or math.isnan(end):
+            raise ValueError("interval endpoints may not be NaN")
+        if start == INF:
+            raise ValueError("interval may not start at +inf")
+        if end < start:
+            raise ValueError(f"empty interval: [{start}, {end}]")
+        object.__setattr__(self, "start", float(start))
+        object.__setattr__(self, "end", float(end))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("TimeInterval is immutable")
+
+    # ------------------------------------------------------------------
+    # Basic predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_unbounded(self) -> bool:
+        """True when the interval extends to the infinite timestamp."""
+        return self.end == INF
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval (``inf`` when unbounded)."""
+        return self.end - self.start
+
+    def contains(self, t: float) -> bool:
+        """Whether timestamp ``t`` lies inside the closed interval."""
+        return self.start <= t <= self.end
+
+    def contains_interval(self, other: "TimeInterval") -> bool:
+        """Whether ``other`` lies entirely inside this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "TimeInterval") -> bool:
+        """Whether the two closed intervals share at least one point."""
+        return self.start <= other.end and other.start <= self.end
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def intersect(self, other: "TimeInterval") -> Optional["TimeInterval"]:
+        """Intersection with ``other``, or ``None`` when disjoint."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if lo > hi:
+            return None
+        return TimeInterval(lo, hi)
+
+    def union(self, other: "TimeInterval") -> Optional["TimeInterval"]:
+        """Union with ``other`` when contiguous, else ``None``.
+
+        Two closed intervals have an interval union iff they overlap or
+        touch; otherwise the union is not an interval and ``None`` is
+        returned.
+        """
+        if not self.overlaps(other):
+            return None
+        return TimeInterval(min(self.start, other.start), max(self.end, other.end))
+
+    def clamp(self, lo: float, hi: float) -> Optional["TimeInterval"]:
+        """Intersection with ``[lo, hi]`` expressed as raw endpoints."""
+        return self.intersect(TimeInterval(lo, hi))
+
+    def shift(self, delta: float) -> "TimeInterval":
+        """The interval translated by ``delta`` time units."""
+        return TimeInterval(self.start + delta, self.end + delta)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeInterval):
+            return NotImplemented
+        return self.start == other.start and self.end == other.end
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.end))
+
+    def __repr__(self) -> str:
+        return f"TimeInterval({_fmt(self.start)}, {_fmt(self.end)})"
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.start
+        yield self.end
+
+    def approx_equals(self, other: "TimeInterval", tol: float = _EPS) -> bool:
+        """Equality up to ``tol``, treating two infinities as equal."""
+        return _close(self.start, other.start, tol) and _close(self.end, other.end, tol)
+
+
+def _close(a: float, b: float, tol: float) -> bool:
+    if a == b:
+        return True
+    if math.isinf(a) or math.isinf(b):
+        return False
+    return abs(a - b) <= tol
+
+
+def _fmt(v: float) -> str:
+    return "INF" if v == INF else f"{v:g}"
+
+
+def merge_intervals(intervals: Iterable[TimeInterval], tol: float = _EPS) -> List[TimeInterval]:
+    """Coalesce a collection of closed intervals into disjoint ones.
+
+    Intervals that overlap or whose gap is at most ``tol`` are merged.
+    The result is sorted by start time.
+
+    >>> merge_intervals([TimeInterval(5, 9), TimeInterval(1, 5)])
+    [TimeInterval(1, 9)]
+    """
+    items: Sequence[TimeInterval] = sorted(intervals, key=lambda iv: (iv.start, iv.end))
+    merged: List[TimeInterval] = []
+    for iv in items:
+        if merged and iv.start <= merged[-1].end + tol:
+            last = merged[-1]
+            if iv.end > last.end:
+                merged[-1] = TimeInterval(last.start, iv.end)
+        else:
+            merged.append(iv)
+    return merged

@@ -1,0 +1,59 @@
+"""Binary page codec for tree nodes.
+
+Layout (little endian)::
+
+    u8   level
+    i64  page_id
+    i64  entry count
+    per entry:
+        i64  ref (object id or child page id)
+        9×f64 kinetic-box parameters (MBR bounds, VBR bounds, t_ref)
+
+One entry is ``8 + 72 = 80`` bytes; the 17-byte header leaves room for
+``(4096 - 17) // 80 = 50`` entries in a standard 4 KiB page.  The tree's
+node capacity must not exceed :func:`max_entries_for_page`, which the
+tree constructor checks.
+"""
+
+from __future__ import annotations
+
+from ..geometry import KineticBox
+from ..storage import StructReader, StructWriter
+from .entry import Entry
+from .node import Node
+
+__all__ = ["NodeCodec", "ENTRY_BYTES", "HEADER_BYTES", "max_entries_for_page"]
+
+ENTRY_BYTES = 8 + 9 * 8
+HEADER_BYTES = 1 + 8 + 8
+
+
+def max_entries_for_page(page_size: int) -> int:
+    """Largest node capacity that fits a page of ``page_size`` bytes."""
+    return (page_size - HEADER_BYTES) // ENTRY_BYTES
+
+
+class NodeCodec:
+    """Serializes :class:`~repro.index.node.Node` objects to page bytes."""
+
+    def encode(self, node: Node) -> bytes:
+        writer = StructWriter()
+        writer.write_u8(node.level)
+        writer.write_i64(node.page_id)
+        writer.write_i64(len(node.entries))
+        for entry in node.entries:
+            writer.write_i64(entry.ref)
+            writer.write_f64s(entry.kbox.params())
+        return writer.getvalue()
+
+    def decode(self, data: bytes) -> Node:
+        reader = StructReader(data)
+        level = reader.read_u8()
+        page_id = reader.read_i64()
+        count = reader.read_i64()
+        entries = []
+        for _ in range(count):
+            ref = reader.read_i64()
+            params = tuple(reader.read_f64s(9))
+            entries.append(Entry(KineticBox.from_params(params), ref))
+        return Node(page_id, level, entries)

@@ -1,0 +1,42 @@
+"""Index entries: a kinetic bound plus a reference.
+
+An :class:`Entry` in a *leaf* node bounds one moving object and carries
+its object id; an entry in an *internal* node bounds a child node and
+carries the child's page id.  In both cases the bound is a
+:class:`~repro.geometry.KineticBox` — for leaves the exact object box,
+for internal entries the conservative time-parameterized bound (TPR
+semantics: it contains every descendant at every time at or after the
+entry's reference time).
+"""
+
+from __future__ import annotations
+
+from ..geometry import KineticBox
+
+__all__ = ["Entry"]
+
+
+class Entry:
+    """A ``(kinetic box, reference)`` pair stored inside a node.
+
+    ``ref`` is an object id when the owning node is a leaf, otherwise a
+    child page id.  Entries are small mutable records — the tree rewrites
+    ``kbox`` in place when tightening parent bounds.
+    """
+
+    __slots__ = ("kbox", "ref")
+
+    def __init__(self, kbox: KineticBox, ref: int):
+        self.kbox = kbox
+        self.ref = int(ref)
+
+    def __repr__(self) -> str:
+        return f"Entry(ref={self.ref}, kbox={self.kbox!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Entry):
+            return NotImplemented
+        return self.ref == other.ref and self.kbox == other.kbox
+
+    def __hash__(self) -> int:
+        return hash((self.ref, self.kbox))

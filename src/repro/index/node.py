@@ -1,0 +1,59 @@
+"""Tree nodes: one disk page holding a level and a list of entries."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..geometry import KineticBox
+from .entry import Entry
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A TPR-tree node occupying exactly one disk page.
+
+    ``level`` is 0 for leaves and grows toward the root.  A node does not
+    store its own bound — as in R-trees, the bound lives in the parent's
+    entry; :meth:`bound_at` recomputes it from the children when needed
+    (root bound, bound tightening, splits).
+    """
+
+    __slots__ = ("page_id", "level", "entries")
+
+    def __init__(self, page_id: int, level: int, entries: Optional[List[Entry]] = None):
+        self.page_id = int(page_id)
+        self.level = int(level)
+        self.entries = entries if entries is not None else []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def bound_at(self, t_ref: float) -> KineticBox:
+        """Tight kinetic bound of all entries, referenced at ``t_ref``.
+
+        Valid (contains every entry) for all ``t >= t_ref`` provided
+        ``t_ref`` is not earlier than the entries' own reference times'
+        insert times — which the tree guarantees by only tightening with
+        the current timestamp.
+        """
+        if not self.entries:
+            raise ValueError(f"node {self.page_id} has no entries to bound")
+        return KineticBox.union_at(t_ref, (e.kbox for e in self.entries))
+
+    def find_ref(self, ref: int) -> Optional[int]:
+        """Index of the entry with the given reference, else ``None``."""
+        for i, entry in enumerate(self.entries):
+            if entry.ref == ref:
+                return i
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"Node(page_id={self.page_id}, level={self.level}, "
+            f"entries={len(self.entries)})"
+        )

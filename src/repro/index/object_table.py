@@ -1,0 +1,59 @@
+"""The object table: id → stored motion parameters.
+
+The management system "maintains the information of the objects" (§II-A):
+for every object id it knows the motion parameters currently stored in
+the index.  Deletions need this — an update message carries only the new
+parameters, so the *old* entry can only be located from the table.  The
+MTB-tree additionally records which time bucket each object currently
+lives in (the paper assumes the last update timestamp is sent along with
+each update; storing it here is equivalent and self-contained).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..objects import MovingObject
+
+__all__ = ["ObjectTable"]
+
+
+class ObjectTable:
+    """Maps object ids to their stored version and an optional tag.
+
+    The tag is opaque to the table; the MTB-tree stores the time-bucket
+    key there, a single TPR-tree stores nothing.
+    """
+
+    def __init__(self) -> None:
+        self._rows: Dict[int, Tuple[MovingObject, Optional[int]]] = {}
+
+    def put(self, obj: MovingObject, tag: Optional[int] = None) -> None:
+        """Insert or overwrite the stored version of ``obj``."""
+        self._rows[obj.oid] = (obj, tag)
+
+    def get(self, oid: int) -> MovingObject:
+        """The stored version of the object (KeyError when absent)."""
+        return self._rows[oid][0]
+
+    def tag(self, oid: int) -> Optional[int]:
+        """The tag stored with the object (KeyError when absent)."""
+        return self._rows[oid][1]
+
+    def pop(self, oid: int) -> Tuple[MovingObject, Optional[int]]:
+        """Remove and return ``(object, tag)`` (KeyError when absent)."""
+        return self._rows.pop(oid)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._rows)
+
+    def objects(self) -> Iterator[MovingObject]:
+        """All stored object versions."""
+        for obj, _tag in self._rows.values():
+            yield obj

@@ -1,0 +1,90 @@
+"""The TPR*-tree: improved construction heuristics over the TPR-tree.
+
+Tao, Papadias & Sun (VLDB 2003) observed that the original TPR-tree
+inherits R*-tree algorithms designed for static rectangles and proposed
+a set of improvements that produce a nearly-optimal tree.  This class
+layers the two improvements with the largest measured effect onto
+:class:`~repro.index.tpr.TPRTree`:
+
+* **forced reinsertion** — on the first overflow at a level, the 30% of
+  entries that deviate most from the node are reinserted instead of an
+  immediate split, giving entries a chance to migrate to better homes as
+  the dataset's motion evolves;
+* **sweep-aware split** — the split cost adds the integrated *overlap*
+  of the two groups to their integrated areas, penalizing splits whose
+  halves will sweep across each other during the horizon (the dominant
+  cause of dead traversal in moving-object trees).
+
+The public interface is exactly that of :class:`TPRTree`; the paper's
+experiments use this variant as the underlying access method (§VI-A).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..geometry import KineticBox, intersection_interval
+from .entry import Entry
+from .tpr import TPRTree
+
+__all__ = ["TPRStarTree"]
+
+# Number of sample points used to approximate the integrated overlap of
+# two candidate split groups.  The overlap of two kinetic boxes is a
+# piecewise-quadratic function of time; a short Simpson-style sample is
+# plenty for a split heuristic.
+_OVERLAP_SAMPLES = 3
+
+
+class TPRStarTree(TPRTree):
+    """TPR-tree with R*-style reinsertion and overlap-aware splits."""
+
+    reinsert_fraction = 0.3
+
+    def _choose_split(
+        self, entries: Sequence[Entry], t_now: float
+    ) -> Tuple[List[Entry], List[Entry]]:
+        """Split minimizing integrated area *plus* sampled integrated
+        overlap of the two groups (cf. TPR*'s sweeping-region cost)."""
+        t_end = t_now + self.horizon
+        n = len(entries)
+        lo_fill = self.min_fill
+        hi_fill = n - self.min_fill
+        best_cost = float("inf")
+        best: Tuple[List[Entry], List[Entry]] = ([], [])
+        for dim in (0, 1):
+            order = sorted(
+                entries,
+                key=lambda e: (e.kbox.lo(dim, t_now), e.kbox.hi(dim, t_now)),
+            )
+            prefix = self._running_unions(order, t_now)
+            suffix = self._running_unions(list(reversed(order)), t_now)
+            for k in range(lo_fill, hi_fill + 1):
+                g1 = prefix[k - 1]
+                g2 = suffix[n - k - 1]
+                cost = g1.integrated_area(t_now, t_end)
+                cost += g2.integrated_area(t_now, t_end)
+                cost += _sampled_overlap(g1, g2, t_now, t_end)
+                if cost < best_cost:
+                    best_cost = cost
+                    best = (list(order[:k]), list(order[k:]))
+        assert best[0], "split produced an empty group"
+        return best
+
+
+def _sampled_overlap(
+    g1: KineticBox, g2: KineticBox, t0: float, t1: float
+) -> float:
+    """Approximate ``∫ overlap_area(g1(t), g2(t)) dt`` over ``[t0, t1]``.
+
+    Returns 0 quickly when the groups never meet during the window.
+    """
+    if intersection_interval(g1, g2, t0, t1) is None:
+        return 0.0
+    step = (t1 - t0) / (_OVERLAP_SAMPLES - 1)
+    total = 0.0
+    for i in range(_OVERLAP_SAMPLES):
+        t = t0 + i * step
+        weight = 0.5 if i in (0, _OVERLAP_SAMPLES - 1) else 1.0
+        total += weight * g1.at(t).overlap_area(g2.at(t))
+    return total * step

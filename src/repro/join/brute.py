@@ -1,0 +1,49 @@
+"""Brute-force oracle joins used by the test suite.
+
+No index, no pruning: every pair of objects is tested with the exact
+moving-rectangle intersection primitive.  All tree-based algorithms are
+validated against these answers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from ..geometry import INF, intersection_interval
+from ..objects import MovingObject
+from .types import JoinTriple
+
+__all__ = ["brute_force_join", "brute_force_pairs_at"]
+
+
+def brute_force_join(
+    objects_a: Iterable[MovingObject],
+    objects_b: Iterable[MovingObject],
+    t_start: float,
+    t_end: float = INF,
+) -> List[JoinTriple]:
+    """Every intersecting pair during ``[t_start, t_end]``, O(|A||B|)."""
+    list_b = list(objects_b)
+    results: List[JoinTriple] = []
+    for a in objects_a:
+        for b in list_b:
+            interval = intersection_interval(a.kbox, b.kbox, t_start, t_end)
+            if interval is not None:
+                results.append(JoinTriple(a.oid, b.oid, interval))
+    return results
+
+
+def brute_force_pairs_at(
+    objects_a: Iterable[MovingObject],
+    objects_b: Iterable[MovingObject],
+    t: float,
+) -> Set[Tuple[int, int]]:
+    """The exact answer set ``{(a, b)}`` at a single timestamp."""
+    list_b = [(b.oid, b.kbox.at(t)) for b in objects_b]
+    pairs: Set[Tuple[int, int]] = set()
+    for a in objects_a:
+        box_a = a.kbox.at(t)
+        for b_oid, box_b in list_b:
+            if box_a.intersects(box_b):
+                pairs.add((a.oid, b_oid))
+    return pairs

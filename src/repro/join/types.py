@@ -1,0 +1,27 @@
+"""Common result types for the join algorithms.
+
+A join produces :class:`JoinTriple` records ``(a_oid, b_oid, interval)``:
+object ``a_oid`` from set *A* and ``b_oid`` from set *B* intersect during
+``interval``.  Intervals from time-constrained runs are clipped to the
+run's window; unconstrained runs may return unbounded intervals.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from ..geometry import TimeInterval
+
+__all__ = ["JoinTriple"]
+
+
+class JoinTriple(NamedTuple):
+    """One join pair with its intersection interval."""
+
+    a_oid: int
+    b_oid: int
+    interval: TimeInterval
+
+    def key(self) -> "tuple[int, int]":
+        """The ``(a, b)`` identity of the pair, minus timing."""
+        return (self.a_oid, self.b_oid)

@@ -1,0 +1,157 @@
+"""Cost accounting: disk I/O, intersection tests, wall-clock timers.
+
+The paper reports *number of disk I/Os* and *total response time* for
+every experiment.  A single :class:`CostTracker` instance is threaded
+through the storage layer and the join algorithms so benchmarks can read
+both metrics after a run.  Trackers nest: a tracker can snapshot and
+diff, which is how per-update maintenance costs are amortized.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+__all__ = ["CostTracker", "CostSnapshot"]
+
+
+class CostSnapshot:
+    """Immutable copy of a tracker's counters at one point in time."""
+
+    __slots__ = ("page_reads", "page_writes", "pair_tests", "node_visits", "cpu_seconds")
+
+    def __init__(
+        self,
+        page_reads: int,
+        page_writes: int,
+        pair_tests: int,
+        node_visits: int,
+        cpu_seconds: float,
+    ):
+        self.page_reads = page_reads
+        self.page_writes = page_writes
+        self.pair_tests = pair_tests
+        self.node_visits = node_visits
+        self.cpu_seconds = cpu_seconds
+
+    @property
+    def io_total(self) -> int:
+        """Reads plus writes — the paper's "I/O cost"."""
+        return self.page_reads + self.page_writes
+
+    def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
+        return CostSnapshot(
+            self.page_reads - other.page_reads,
+            self.page_writes - other.page_writes,
+            self.pair_tests - other.pair_tests,
+            self.node_visits - other.node_visits,
+            self.cpu_seconds - other.cpu_seconds,
+        )
+
+    def scaled(self, divisor: float) -> "CostSnapshot":
+        """Amortized copy (e.g. per-update maintenance cost)."""
+        if divisor <= 0:
+            raise ValueError("divisor must be positive")
+        return CostSnapshot(
+            int(self.page_reads / divisor),
+            int(self.page_writes / divisor),
+            int(self.pair_tests / divisor),
+            int(self.node_visits / divisor),
+            self.cpu_seconds / divisor,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "page_reads": self.page_reads,
+            "page_writes": self.page_writes,
+            "io_total": self.io_total,
+            "pair_tests": self.pair_tests,
+            "node_visits": self.node_visits,
+            "cpu_seconds": self.cpu_seconds,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CostSnapshot(io={self.io_total}, tests={self.pair_tests}, "
+            f"visits={self.node_visits}, cpu={self.cpu_seconds:.4f}s)"
+        )
+
+
+class CostTracker:
+    """Mutable counters incremented by storage and join code.
+
+    * ``page_reads`` / ``page_writes`` — buffer-pool misses, the honest
+      disk I/O count of the simulated disk substrate;
+    * ``pair_tests`` — exact moving-rectangle intersection tests, the
+      dominant CPU term;
+    * ``node_visits`` — index nodes visited by traversals;
+    * a wall-clock stopwatch accumulating time inside :meth:`timed`.
+    """
+
+    def __init__(self) -> None:
+        self.page_reads = 0
+        self.page_writes = 0
+        self.pair_tests = 0
+        self.node_visits = 0
+        self.cpu_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def count_read(self, n: int = 1) -> None:
+        self.page_reads += n
+
+    def count_write(self, n: int = 1) -> None:
+        self.page_writes += n
+
+    def count_pair_tests(self, n: int = 1) -> None:
+        self.pair_tests += n
+
+    def count_node_visit(self, n: int = 1) -> None:
+        self.node_visits += n
+
+    # ------------------------------------------------------------------
+    def timed(self) -> "_Stopwatch":
+        """Context manager adding elapsed wall time to ``cpu_seconds``.
+
+        >>> tracker = CostTracker()
+        >>> with tracker.timed():
+        ...     pass
+        >>> tracker.cpu_seconds >= 0.0
+        True
+        """
+        return _Stopwatch(self)
+
+    def snapshot(self) -> CostSnapshot:
+        """Immutable copy of the current counters."""
+        return CostSnapshot(
+            self.page_reads,
+            self.page_writes,
+            self.pair_tests,
+            self.node_visits,
+            self.cpu_seconds,
+        )
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.page_reads = 0
+        self.page_writes = 0
+        self.pair_tests = 0
+        self.node_visits = 0
+        self.cpu_seconds = 0.0
+
+    def __repr__(self) -> str:
+        return f"CostTracker({self.snapshot()!r})"
+
+
+class _Stopwatch:
+    """Context manager used by :meth:`CostTracker.timed`."""
+
+    def __init__(self, tracker: CostTracker):
+        self._tracker = tracker
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Stopwatch":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracker.cpu_seconds += time.perf_counter() - self._t0

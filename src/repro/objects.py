@@ -1,0 +1,88 @@
+"""The moving-object model shared by indexes, joins and workloads.
+
+A :class:`MovingObject` is the paper's unit of data (§II-A): a unique id,
+an MBR at a reference time, and a rigid velocity.  The reference time is
+the timestamp of the object's *last update*; the maximum update interval
+``T_M`` guarantees the stored motion is never older than ``T_M``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .geometry import Box, KineticBox
+
+__all__ = ["MovingObject"]
+
+
+class MovingObject:
+    """A rigid moving rectangle with an identity.
+
+    ``oid`` must be unique across *both* joined datasets (the paper's
+    ``A ∪ B``).  ``kbox.vbr`` is degenerate (a point in velocity space)
+    because data objects translate rigidly; bounding velocity rectangles
+    only appear in index nodes.
+
+    >>> obj = MovingObject(7, Box(0, 1, 0, 1), 0.5, -0.25, t_ref=10.0)
+    >>> obj.kbox.at(12.0)
+    Box(1, 2, -0.5, 0.5)
+    """
+
+    __slots__ = ("oid", "kbox")
+
+    def __init__(
+        self, oid: int, mbr: Box, vx: float, vy: float, t_ref: float
+    ):
+        self.oid = int(oid)
+        self.kbox = KineticBox.rigid(mbr, vx, vy, t_ref)
+
+    # ------------------------------------------------------------------
+    @property
+    def t_ref(self) -> float:
+        """Timestamp of the motion parameters (= last update time)."""
+        return self.kbox.t_ref
+
+    @property
+    def velocity(self) -> Tuple[float, float]:
+        """The rigid ``(vx, vy)`` velocity."""
+        return (self.kbox.vbr.x_lo, self.kbox.vbr.y_lo)
+
+    def mbr_at(self, t: float) -> Box:
+        """The object's MBR at timestamp ``t``."""
+        return self.kbox.at(t)
+
+    def updated(
+        self,
+        t: float,
+        mbr: Optional[Box] = None,
+        vx: Optional[float] = None,
+        vy: Optional[float] = None,
+    ) -> "MovingObject":
+        """A new version of this object as of an update at time ``t``.
+
+        Unspecified parameters carry over: the MBR defaults to the
+        extrapolated current position, the velocity to the old velocity.
+        """
+        old_vx, old_vy = self.velocity
+        return MovingObject(
+            self.oid,
+            mbr if mbr is not None else self.mbr_at(t),
+            vx if vx is not None else old_vx,
+            vy if vy is not None else old_vy,
+            t_ref=t,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MovingObject):
+            return NotImplemented
+        return self.oid == other.oid and self.kbox == other.kbox
+
+    def __hash__(self) -> int:
+        return hash((self.oid, self.kbox))
+
+    def __repr__(self) -> str:
+        vx, vy = self.velocity
+        return (
+            f"MovingObject(oid={self.oid}, mbr={self.kbox.mbr!r}, "
+            f"v=({vx:g}, {vy:g}), t_ref={self.t_ref:g})"
+        )

@@ -1,0 +1,6 @@
+"""§V extensions: TC processing applied to other continuous queries."""
+
+from .knn import ContinuousKNNEngine, knn_at
+from .window import ContinuousWindowEngine
+
+__all__ = ["ContinuousWindowEngine", "ContinuousKNNEngine", "knn_at"]

@@ -1,0 +1,13 @@
+"""Exact-shape refinement step for filter-step join results."""
+
+from .continuous import TwoStepJoinEngine
+from .shapes import Circle, ConvexPolygon, Sector, Shape, refine_pairs
+
+__all__ = [
+    "Shape",
+    "Circle",
+    "ConvexPolygon",
+    "Sector",
+    "refine_pairs",
+    "TwoStepJoinEngine",
+]

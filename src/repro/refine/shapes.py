@@ -1,0 +1,295 @@
+"""Exact-shape refinement step (Orenstein's two-step processing, §II-A).
+
+The join algorithms implement the *filter step* on MBRs.  Applications
+like the paper's motivating examples — police cars with circular
+coverage, bombers with sector-shaped attack ranges, rectangular
+communities — need the *refinement step*: checking whether the actual
+shapes intersect, for the pairs that survived the filter.
+
+Shapes are defined in a local frame and anchored to a moving object's
+MBR center, so they translate rigidly with the object.  Supported:
+
+* :class:`Circle` — exact tests against circles and convex polygons;
+* :class:`ConvexPolygon` — exact SAT (separating axis theorem) tests;
+* :class:`Sector` — a circular sector approximated by a convex polygon
+  with a configurable arc resolution (the approximation is *inscribed*
+  plus an outer radius bump so it always contains the true sector).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from ..geometry import Box
+from ..objects import MovingObject
+
+__all__ = ["Shape", "Circle", "ConvexPolygon", "Sector", "refine_pairs"]
+
+Point = Tuple[float, float]
+
+
+class Shape:
+    """A rigid 2-d shape expressed in a local coordinate frame."""
+
+    def mbr(self) -> Box:
+        """Axis-parallel bounding box in the local frame."""
+        raise NotImplementedError
+
+    def translated(self, dx: float, dy: float) -> "Shape":
+        """The shape moved by ``(dx, dy)``."""
+        raise NotImplementedError
+
+    def intersects(self, other: "Shape") -> bool:
+        """Exact intersection test against another shape."""
+        if isinstance(self, Circle) and isinstance(other, Circle):
+            return _circle_circle(self, other)
+        if isinstance(self, Circle):
+            return _circle_polygon(self, _as_polygon(other))
+        if isinstance(other, Circle):
+            return _circle_polygon(other, _as_polygon(self))
+        return _polygon_polygon(_as_polygon(self), _as_polygon(other))
+
+
+class Circle(Shape):
+    """A disk of radius ``r`` centered at ``(cx, cy)``."""
+
+    __slots__ = ("cx", "cy", "r")
+
+    def __init__(self, cx: float, cy: float, r: float):
+        if r < 0:
+            raise ValueError("radius must be non-negative")
+        self.cx = float(cx)
+        self.cy = float(cy)
+        self.r = float(r)
+
+    def mbr(self) -> Box:
+        return Box(self.cx - self.r, self.cx + self.r, self.cy - self.r, self.cy + self.r)
+
+    def translated(self, dx: float, dy: float) -> "Circle":
+        return Circle(self.cx + dx, self.cy + dy, self.r)
+
+    def __repr__(self) -> str:
+        return f"Circle(({self.cx:g}, {self.cy:g}), r={self.r:g})"
+
+
+class ConvexPolygon(Shape):
+    """A convex polygon given by counter-clockwise vertices."""
+
+    __slots__ = ("vertices",)
+
+    def __init__(self, vertices: Sequence[Point]):
+        if len(vertices) < 3:
+            raise ValueError("polygon needs at least 3 vertices")
+        self.vertices: Tuple[Point, ...] = tuple(
+            (float(x), float(y)) for x, y in vertices
+        )
+        if not _is_convex_ccw(self.vertices):
+            raise ValueError("vertices must form a convex CCW polygon")
+
+    @classmethod
+    def rectangle(cls, box: Box) -> "ConvexPolygon":
+        """The polygon of an axis-parallel box."""
+        return cls(
+            [
+                (box.x_lo, box.y_lo),
+                (box.x_hi, box.y_lo),
+                (box.x_hi, box.y_hi),
+                (box.x_lo, box.y_hi),
+            ]
+        )
+
+    def mbr(self) -> Box:
+        xs = [v[0] for v in self.vertices]
+        ys = [v[1] for v in self.vertices]
+        return Box(min(xs), max(xs), min(ys), max(ys))
+
+    def translated(self, dx: float, dy: float) -> "ConvexPolygon":
+        return ConvexPolygon([(x + dx, y + dy) for x, y in self.vertices])
+
+    def __repr__(self) -> str:
+        return f"ConvexPolygon({len(self.vertices)} vertices)"
+
+
+class Sector(Shape):
+    """A circular sector: apex, radius, heading and half-angle.
+
+    Internally a convex polygon whose straight edges are exact and whose
+    arc is replaced by chords pushed out to radius ``r / cos(Δ/2)`` per
+    chord half-angle ``Δ/2`` — the polygon therefore *contains* the true
+    sector, which keeps the refinement conservative (it may re-admit a
+    sliver the exact sector misses, never drop a true hit).  Raise
+    ``arc_segments`` to shrink the sliver.  ``half_angle`` must be at
+    most 90° so the sector is convex.
+    """
+
+    __slots__ = ("apex_x", "apex_y", "r", "heading", "half_angle", "_poly")
+
+    def __init__(
+        self,
+        apex_x: float,
+        apex_y: float,
+        r: float,
+        heading: float,
+        half_angle: float,
+        arc_segments: int = 8,
+    ):
+        if r <= 0:
+            raise ValueError("radius must be positive")
+        if not 0 < half_angle <= math.pi / 2:
+            raise ValueError("half_angle must be in (0, pi/2]")
+        if arc_segments < 1:
+            raise ValueError("arc_segments must be >= 1")
+        self.apex_x = float(apex_x)
+        self.apex_y = float(apex_y)
+        self.r = float(r)
+        self.heading = float(heading)
+        self.half_angle = float(half_angle)
+        step = 2 * half_angle / arc_segments
+        bulge = r / math.cos(step / 2)
+        points: List[Point] = [(apex_x, apex_y)]
+        # Exact extreme rays at radius r, bulged chord midpoint samples
+        # in between: the polygon circumscribes the arc.
+        angles = [heading - half_angle + i * step for i in range(arc_segments + 1)]
+        for i, angle in enumerate(angles):
+            radius = self.r if i in (0, len(angles) - 1) else bulge
+            points.append(
+                (apex_x + radius * math.cos(angle), apex_y + radius * math.sin(angle))
+            )
+        self._poly = ConvexPolygon(points)
+
+    def mbr(self) -> Box:
+        return self._poly.mbr()
+
+    def translated(self, dx: float, dy: float) -> "Sector":
+        moved = Sector.__new__(Sector)
+        moved.apex_x = self.apex_x + dx
+        moved.apex_y = self.apex_y + dy
+        moved.r = self.r
+        moved.heading = self.heading
+        moved.half_angle = self.half_angle
+        moved._poly = self._poly.translated(dx, dy)
+        return moved
+
+    def __repr__(self) -> str:
+        return (
+            f"Sector(apex=({self.apex_x:g}, {self.apex_y:g}), r={self.r:g}, "
+            f"heading={self.heading:g}, half_angle={self.half_angle:g})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Exact predicates
+# ----------------------------------------------------------------------
+def _circle_circle(a: Circle, b: Circle) -> bool:
+    dx = a.cx - b.cx
+    dy = a.cy - b.cy
+    rr = a.r + b.r
+    return dx * dx + dy * dy <= rr * rr
+
+
+def _circle_polygon(circle: Circle, poly: ConvexPolygon) -> bool:
+    """Exact: distance from center to the polygon at most the radius."""
+    return _point_polygon_distance(circle.cx, circle.cy, poly) <= circle.r
+
+
+def _point_polygon_distance(px: float, py: float, poly: ConvexPolygon) -> float:
+    inside = True
+    best = math.inf
+    n = len(poly.vertices)
+    for i in range(n):
+        x1, y1 = poly.vertices[i]
+        x2, y2 = poly.vertices[(i + 1) % n]
+        if _cross(x2 - x1, y2 - y1, px - x1, py - y1) < 0:
+            inside = False
+        best = min(best, _segment_distance(px, py, x1, y1, x2, y2))
+    return 0.0 if inside else best
+
+
+def _segment_distance(
+    px: float, py: float, x1: float, y1: float, x2: float, y2: float
+) -> float:
+    dx, dy = x2 - x1, y2 - y1
+    length_sq = dx * dx + dy * dy
+    if length_sq == 0.0:
+        return math.hypot(px - x1, py - y1)
+    u = ((px - x1) * dx + (py - y1) * dy) / length_sq
+    u = min(max(u, 0.0), 1.0)
+    return math.hypot(px - (x1 + u * dx), py - (y1 + u * dy))
+
+
+def _polygon_polygon(a: ConvexPolygon, b: ConvexPolygon) -> bool:
+    """Separating axis theorem over both polygons' edge normals."""
+    for poly in (a, b):
+        n = len(poly.vertices)
+        for i in range(n):
+            x1, y1 = poly.vertices[i]
+            x2, y2 = poly.vertices[(i + 1) % n]
+            nx, ny = y1 - y2, x2 - x1  # outward normal of a CCW edge
+            a_lo, a_hi = _project(a, nx, ny)
+            b_lo, b_hi = _project(b, nx, ny)
+            if a_hi < b_lo or b_hi < a_lo:
+                return False
+    return True
+
+
+def _project(poly: ConvexPolygon, nx: float, ny: float) -> Tuple[float, float]:
+    dots = [nx * x + ny * y for x, y in poly.vertices]
+    return min(dots), max(dots)
+
+
+def _cross(ax: float, ay: float, bx: float, by: float) -> float:
+    return ax * by - ay * bx
+
+
+def _is_convex_ccw(vertices: Tuple[Point, ...]) -> bool:
+    n = len(vertices)
+    for i in range(n):
+        x1, y1 = vertices[i]
+        x2, y2 = vertices[(i + 1) % n]
+        x3, y3 = vertices[(i + 2) % n]
+        if _cross(x2 - x1, y2 - y1, x3 - x2, y3 - y2) < -1e-12:
+            return False
+    return True
+
+
+def _as_polygon(shape: Shape) -> ConvexPolygon:
+    if isinstance(shape, ConvexPolygon):
+        return shape
+    if isinstance(shape, Sector):
+        return shape._poly
+    raise TypeError(f"cannot convert {type(shape).__name__} to polygon")
+
+
+# ----------------------------------------------------------------------
+# The refinement step
+# ----------------------------------------------------------------------
+def refine_pairs(
+    pairs: Iterable[Tuple[int, int]],
+    objects_a: "dict[int, MovingObject]",
+    objects_b: "dict[int, MovingObject]",
+    shapes_a: "dict[int, Shape]",
+    shapes_b: "dict[int, Shape]",
+    t: float,
+) -> List[Tuple[int, int]]:
+    """Keep only filter-step pairs whose actual shapes intersect at ``t``.
+
+    Shapes are given in each object's local frame (origin at the MBR
+    center) and translated to the object's position at ``t``.  Objects
+    without a registered shape fall back to their MBR rectangle.
+    """
+    survivors: List[Tuple[int, int]] = []
+    for a_oid, b_oid in pairs:
+        shape_a = _placed_shape(objects_a[a_oid], shapes_a.get(a_oid), t)
+        shape_b = _placed_shape(objects_b[b_oid], shapes_b.get(b_oid), t)
+        if shape_a.intersects(shape_b):
+            survivors.append((a_oid, b_oid))
+    return survivors
+
+
+def _placed_shape(obj: MovingObject, shape: "Shape | None", t: float) -> Shape:
+    mbr = obj.mbr_at(t)
+    if shape is None:
+        return ConvexPolygon.rectangle(mbr)
+    cx, cy = mbr.center
+    return shape.translated(cx, cy)

@@ -1,0 +1,28 @@
+"""Workload generation: datasets and update streams (paper §VI-A)."""
+
+from .generator import (
+    DISTRIBUTIONS,
+    Scenario,
+    battlefield_workload,
+    gaussian_workload,
+    make_workload,
+    road_network_workload,
+    uniform_workload,
+)
+from .io import load_scenario, save_scenario, scenario_from_dict, scenario_to_dict
+from .updates import UpdateStream
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "Scenario",
+    "make_workload",
+    "uniform_workload",
+    "gaussian_workload",
+    "battlefield_workload",
+    "road_network_workload",
+    "UpdateStream",
+    "save_scenario",
+    "load_scenario",
+    "scenario_to_dict",
+    "scenario_from_dict",
+]

@@ -1,0 +1,149 @@
+"""The update stream: who updates when, and with what new motion.
+
+The paper's maintenance experiments keep updating the trees: "at every
+timestamp, we randomly change directions or speed of some objects…
+every object is required to be updated at least once during the maximum
+update interval ``T_M``" (§VI-A).
+
+:class:`UpdateStream` reproduces that contract.  Every object carries a
+next-due timestamp drawn uniformly from ``[1, T_M]``; when it fires, the
+object reports from its *actual* (extrapolated) position with freshly
+sampled velocity, and is rescheduled another ``uniform[1, T_M]`` ahead —
+so expected update spacing is ``T_M/2`` and the ``T_M`` bound always
+holds.  Objects bounce off the domain walls so the simulation remains
+stationary over long runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from ..objects import MovingObject
+from .generator import ROAD_GRID, Scenario
+
+__all__ = ["UpdateStream"]
+
+
+class UpdateStream:
+    """Deterministic per-timestamp update batches for a scenario."""
+
+    def __init__(self, scenario: Scenario, seed: int = 1):
+        self.scenario = scenario
+        self.t_m = scenario.t_m
+        self.space = scenario.space_size
+        self.side = scenario.object_side
+        self.max_speed = scenario.max_speed
+        self._rng = np.random.default_rng(seed)
+        self._due: Dict[int, float] = {}
+        for obj in list(scenario.set_a) + list(scenario.set_b):
+            self._due[obj.oid] = float(self._rng.integers(1, int(self.t_m) + 1))
+        self._homing = scenario.distribution == "battlefield"
+        self._road = scenario.distribution == "road"
+        self._a_ids = {o.oid for o in scenario.set_a}
+
+    # ------------------------------------------------------------------
+    def updates_for(
+        self, t: float, current: Mapping[int, MovingObject]
+    ) -> List[MovingObject]:
+        """Updates due at timestamp ``t``.
+
+        ``current`` maps object id → version currently stored by the
+        management system; positions are extrapolated from it.  Each
+        returned object has ``t_ref == t`` and is rescheduled.
+        """
+        batch: List[MovingObject] = []
+        for oid, due in self._due.items():
+            if due > t:
+                continue
+            obj = current[oid]
+            batch.append(self._reissue(obj, t))
+            self._due[oid] = t + float(self._rng.integers(1, int(self.t_m) + 1))
+        return batch
+
+    def due_counts(self, t: float) -> int:
+        """How many updates :meth:`updates_for` would emit at ``t``."""
+        return sum(1 for due in self._due.values() if due <= t)
+
+    # ------------------------------------------------------------------
+    def _reissue(self, obj: MovingObject, t: float) -> MovingObject:
+        """New motion parameters reported from the extrapolated position."""
+        mbr = obj.mbr_at(t)
+        # Keep the object inside the domain: clamp and bounce.
+        x = min(max(mbr.x_lo, 0.0), self.space - self.side)
+        y = min(max(mbr.y_lo, 0.0), self.space - self.side)
+        if self._road:
+            x, y, vx, vy = self._road_motion(x, y)
+        else:
+            vx, vy = self._new_velocity(obj.oid, x, y)
+        from ..geometry import Box
+
+        return MovingObject(
+            obj.oid, Box(x, x + self.side, y, y + self.side), vx, vy, t_ref=t
+        )
+
+    def _road_motion(self, x: float, y: float) -> "tuple[float, float, float, float]":
+        """Road-network kinematics: continue along the road or turn at
+        the nearest intersection onto the crossing road."""
+        rng = self._rng
+        spacing = self.space / ROAD_GRID
+
+        def snap(value: float) -> float:
+            road = round((value - spacing / 2) / spacing)
+            road = min(max(road, 0), ROAD_GRID - 1)
+            return min(road * spacing + spacing / 2, self.space - self.side)
+
+        speed = float(rng.uniform(0.1 * self.max_speed, self.max_speed))
+        direction = 1.0 if rng.random() < 0.5 else -1.0
+        turn = rng.random() < 0.3
+        # Current travel axis: the coordinate that is *not* snapped to a
+        # road centerline is the along-road one; infer from proximity.
+        on_horizontal = abs(snap(y) - y) <= abs(snap(x) - x)
+        if turn:
+            # Move to the nearest intersection, proceed on the crossing
+            # road.
+            x, y = snap(x), snap(y)
+            on_horizontal = not on_horizontal
+        if on_horizontal:
+            y = snap(y)
+            if x <= 0.0:
+                direction = 1.0
+            elif x >= self.space - self.side:
+                direction = -1.0
+            return x, y, direction * speed, 0.0
+        x = snap(x)
+        if y <= 0.0:
+            direction = 1.0
+        elif y >= self.space - self.side:
+            direction = -1.0
+        return x, y, 0.0, direction * speed
+
+    def _new_velocity(self, oid: int, x: float, y: float) -> "tuple[float, float]":
+        rng = self._rng
+        speed = float(rng.uniform(0.0, self.max_speed))
+        if self._homing:
+            # Battlefield objects keep charging the opposing side until
+            # they cross the middle, then roam.
+            toward_positive = oid in self._a_ids
+            past_middle = (x > self.space * 0.6) if toward_positive else (
+                x < self.space * 0.4
+            )
+            if not past_middle:
+                base = 0.0 if toward_positive else math.pi
+                angle = base + float(rng.uniform(-math.pi / 4, math.pi / 4))
+                return speed * math.cos(angle), speed * math.sin(angle)
+        angle = float(rng.uniform(0.0, 2 * math.pi))
+        vx = speed * math.cos(angle)
+        vy = speed * math.sin(angle)
+        # Bounce: aim inward when hugging a wall.
+        if x <= 0.0:
+            vx = abs(vx)
+        elif x >= self.space - self.side:
+            vx = -abs(vx)
+        if y <= 0.0:
+            vy = abs(vy)
+        elif y >= self.space - self.side:
+            vy = -abs(vy)
+        return vx, vy

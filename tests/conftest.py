@@ -1,0 +1,64 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+
+from repro.geometry import Box, KineticBox
+from repro.objects import MovingObject
+
+
+def random_kbox(
+    rng: random.Random,
+    space: float = 100.0,
+    max_side: float = 5.0,
+    max_speed: float = 3.0,
+    t_ref_range: "tuple[float, float]" = (0.0, 2.0),
+) -> KineticBox:
+    """A random rigid moving rectangle."""
+    x = rng.uniform(0, space)
+    y = rng.uniform(0, space)
+    w = rng.uniform(0.1, max_side)
+    h = rng.uniform(0.1, max_side)
+    vx = rng.uniform(-max_speed, max_speed)
+    vy = rng.uniform(-max_speed, max_speed)
+    t_ref = rng.uniform(*t_ref_range)
+    return KineticBox.rigid(Box(x, x + w, y, y + h), vx, vy, t_ref)
+
+
+def random_object(
+    rng: random.Random,
+    oid: int,
+    t_ref: float = 0.0,
+    space: float = 1000.0,
+    max_side: float = 10.0,
+    max_speed: float = 3.0,
+) -> MovingObject:
+    """A random moving object with the given id and reference time."""
+    x = rng.uniform(0, space)
+    y = rng.uniform(0, space)
+    side = rng.uniform(1.0, max_side)
+    vx = rng.uniform(-max_speed, max_speed)
+    vy = rng.uniform(-max_speed, max_speed)
+    return MovingObject(oid, Box(x, x + side, y, y + side), vx, vy, t_ref)
+
+
+def random_objects(
+    seed: int,
+    n: int,
+    id_offset: int = 0,
+    t_ref: float = 0.0,
+    **kwargs,
+) -> List[MovingObject]:
+    """``n`` random objects with consecutive ids from ``id_offset``."""
+    rng = random.Random(seed)
+    return [random_object(rng, id_offset + i, t_ref, **kwargs) for i in range(n)]
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG per test."""
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,43 @@
+"""Tests for JoinConfig validation and derived values."""
+
+import pytest
+
+from repro.core import JoinConfig
+
+
+class TestJoinConfig:
+    def test_defaults_match_table_i(self):
+        config = JoinConfig()
+        assert config.space_size == 1000.0
+        assert config.t_m == 60.0
+        assert config.node_capacity == 30
+        assert config.page_size == 4096
+        assert config.buffer_pages == 50
+        assert config.buckets_per_tm == 2
+
+    def test_effective_horizon_defaults_to_tm(self):
+        assert JoinConfig(t_m=120.0).effective_horizon == 120.0
+        assert JoinConfig(t_m=120.0, horizon=40.0).effective_horizon == 40.0
+
+    def test_bucket_length(self):
+        assert JoinConfig(t_m=60.0, buckets_per_tm=2).bucket_length == 30.0
+        assert JoinConfig(t_m=60.0, buckets_per_tm=4).bucket_length == 15.0
+
+    def test_frozen(self):
+        config = JoinConfig()
+        with pytest.raises(AttributeError):
+            config.t_m = 5.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"space_size": 0},
+            {"t_m": 0},
+            {"t_m": -5},
+            {"buckets_per_tm": 0},
+            {"horizon": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            JoinConfig(**kwargs)

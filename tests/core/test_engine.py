@@ -1,0 +1,129 @@
+"""The continuous-join engine: every algorithm must answer exactly.
+
+This is the central integration test of the reproduction: for each of
+the four strategies, the maintained answer is compared against the
+O(n²) oracle at every simulated timestamp of an update-heavy run.
+"""
+
+import pytest
+
+from repro.core import ContinuousJoinEngine, JoinConfig, SimulationDriver
+from repro.join import JoinTechniques, brute_force_pairs_at
+from repro.objects import MovingObject
+from repro.geometry import Box
+from repro.workloads import UpdateStream, make_workload
+
+ALGOS = ["naive", "etp", "tc", "mtb"]
+
+
+def run_scenario(algorithm, n=120, steps=30, t_m=15.0, seed=2, distribution="uniform",
+                 techniques=None):
+    scenario = make_workload(
+        n, distribution, max_speed=3.0, object_size_pct=1.0, t_m=t_m, seed=seed
+    )
+    config = JoinConfig(t_m=t_m)
+    engine = ContinuousJoinEngine.create(
+        scenario.set_a, scenario.set_b, algorithm=algorithm,
+        config=config, techniques=techniques,
+    )
+    engine.run_initial_join()
+    driver = SimulationDriver(engine, UpdateStream(scenario, seed=seed + 1))
+    return scenario, engine, driver
+
+
+class TestContinuousCorrectness:
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_answer_equals_oracle_at_every_timestamp(self, algorithm):
+        _scenario, engine, driver = run_scenario(algorithm)
+        assert engine.result_at(0.0) == brute_force_pairs_at(
+            engine.objects_a.values(), engine.objects_b.values(), 0.0
+        )
+        for _ in range(30):
+            driver.step()
+            t = engine.now
+            want = brute_force_pairs_at(
+                engine.objects_a.values(), engine.objects_b.values(), t
+            )
+            assert engine.result_at(t) == want, (algorithm, t)
+
+    @pytest.mark.parametrize("algorithm", ["mtb", "tc"])
+    def test_correct_on_battlefield(self, algorithm):
+        _scenario, engine, driver = run_scenario(
+            algorithm, distribution="battlefield", n=80, steps=20
+        )
+        for _ in range(20):
+            driver.step()
+            want = brute_force_pairs_at(
+                engine.objects_a.values(), engine.objects_b.values(), engine.now
+            )
+            assert engine.result_at(engine.now) == want
+
+    def test_mtb_with_plain_traversal(self):
+        """MTB strategy with techniques disabled is still exact."""
+        _scenario, engine, driver = run_scenario(
+            "mtb", techniques=JoinTechniques.none(), n=80
+        )
+        for _ in range(15):
+            driver.step()
+            want = brute_force_pairs_at(
+                engine.objects_a.values(), engine.objects_b.values(), engine.now
+            )
+            assert engine.result_at(engine.now) == want
+
+
+class TestEngineAPI:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuousJoinEngine([], [], algorithm="quantum")
+
+    def test_id_collision_rejected(self):
+        a = [MovingObject(1, Box(0, 1, 0, 1), 0, 0, 0.0)]
+        b = [MovingObject(1, Box(5, 6, 0, 1), 0, 0, 0.0)]
+        with pytest.raises(ValueError):
+            ContinuousJoinEngine(a, b)
+
+    def test_unknown_update_rejected(self):
+        _scenario, engine, _driver = run_scenario("mtb", n=20)
+        with pytest.raises(KeyError):
+            engine.apply_update(MovingObject(424242, Box(0, 1, 0, 1), 0, 0, 0.0))
+
+    def test_time_cannot_go_backwards(self):
+        _scenario, engine, _driver = run_scenario("mtb", n=20)
+        engine.tick(5.0)
+        with pytest.raises(ValueError):
+            engine.tick(4.0)
+        with pytest.raises(ValueError):
+            engine.result_at(3.0)
+
+    def test_cost_snapshots(self):
+        scenario = make_workload(100, "uniform", t_m=20.0, seed=3)
+        engine = ContinuousJoinEngine.create(
+            scenario.set_a, scenario.set_b, algorithm="mtb",
+            config=JoinConfig(t_m=20.0),
+        )
+        assert engine.build_cost.node_visits > 0
+        cost = engine.run_initial_join()
+        assert cost.pair_tests > 0
+        assert engine.initial_join_cost is not None
+
+
+class TestRelativeCosts:
+    """The paper's qualitative cost ordering must hold."""
+
+    def test_tc_cheaper_than_naive_maintenance(self):
+        results = {}
+        for algorithm in ("naive", "tc"):
+            _sc, engine, driver = run_scenario(algorithm, n=150, seed=6)
+            engine.tracker.reset()
+            driver.run(10)
+            results[algorithm] = engine.tracker.pair_tests
+        assert results["tc"] < results["naive"]
+
+    def test_mtb_cheaper_than_etp_maintenance(self):
+        results = {}
+        for algorithm in ("etp", "mtb"):
+            _sc, engine, driver = run_scenario(algorithm, n=150, seed=6)
+            engine.tracker.reset()
+            driver.run(10)
+            results[algorithm] = engine.tracker.pair_tests
+        assert results["mtb"] * 5 < results["etp"]

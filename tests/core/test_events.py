@@ -1,0 +1,91 @@
+"""Change monitoring: deltas must track the answer exactly."""
+
+from repro.core import (
+    ChangeMonitor,
+    ContinuousJoinEngine,
+    JoinConfig,
+    ResultDelta,
+    SimulationDriver,
+)
+from repro.workloads import UpdateStream, uniform_workload
+
+
+class TestResultDelta:
+    def test_between(self):
+        delta = ResultDelta.between({(1, 2), (3, 4)}, {(3, 4), (5, 6)})
+        assert delta.entered == {(5, 6)}
+        assert delta.left == {(1, 2)}
+        assert not delta.is_empty
+
+    def test_empty(self):
+        delta = ResultDelta.between({(1, 2)}, {(1, 2)})
+        assert delta.is_empty
+
+
+class TestChangeMonitor:
+    def make(self):
+        scenario = uniform_workload(
+            120, seed=4, max_speed=3.0, object_size_pct=1.0, t_m=12.0
+        )
+        engine = ContinuousJoinEngine.create(
+            scenario.set_a, scenario.set_b, algorithm="mtb",
+            config=JoinConfig(t_m=12.0),
+        )
+        engine.run_initial_join()
+        driver = SimulationDriver(engine, UpdateStream(scenario, seed=9))
+        return engine, driver
+
+    def test_deltas_replay_to_current_answer(self):
+        engine, driver = self.make()
+        monitor = ChangeMonitor(engine)
+        replayed = set(monitor.current_pairs)
+        for _ in range(20):
+            driver.step()
+            delta = monitor.poll()
+            replayed -= set(delta.left)
+            replayed |= set(delta.entered)
+            assert replayed == engine.result_at(engine.now)
+
+    def test_callbacks_invoked_with_timestamps(self):
+        engine, driver = self.make()
+        events = []
+        monitor = ChangeMonitor(engine, on_change=lambda t, d: events.append((t, d)))
+        for _ in range(15):
+            driver.step()
+            monitor.poll()
+        assert events, "20 steps of churn should change the answer"
+        for t, delta in events:
+            assert not delta.is_empty
+            assert 0 < t <= engine.now
+
+    def test_subscribe_multiple(self):
+        engine, driver = self.make()
+        hits = {"a": 0, "b": 0}
+        monitor = ChangeMonitor(engine)
+        monitor.subscribe(lambda t, d: hits.__setitem__("a", hits["a"] + 1))
+        monitor.subscribe(lambda t, d: hits.__setitem__("b", hits["b"] + 1))
+        for _ in range(15):
+            driver.step()
+            monitor.poll()
+        assert hits["a"] == hits["b"] > 0
+
+    def test_totals_accumulate(self):
+        engine, driver = self.make()
+        monitor = ChangeMonitor(engine)
+        entered = left = 0
+        for _ in range(15):
+            driver.step()
+            delta = monitor.poll()
+            entered += len(delta.entered)
+            left += len(delta.left)
+        assert monitor.total_entered == entered
+        assert monitor.total_left == left
+
+    def test_no_change_no_callback(self):
+        engine, _driver = self.make()
+        calls = []
+        monitor = ChangeMonitor(engine, on_change=lambda t, d: calls.append(1))
+        # Poll without advancing: answer unchanged → no callback.
+        delta = monitor.poll()
+        assert delta.is_empty
+        assert calls == []

@@ -1,0 +1,156 @@
+"""Tests for the moving-rectangle intersection primitive.
+
+The key oracle: :func:`intersection_interval` must agree with dense time
+sampling of the static intersection test at every sampled instant.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Box,
+    INF,
+    KineticBox,
+    first_contact_time,
+    intersection_interval,
+    intersects_during,
+)
+
+from ..conftest import random_kbox
+
+speed = st.floats(min_value=-4, max_value=4, allow_nan=False, allow_infinity=False)
+pos = st.floats(min_value=-40, max_value=40, allow_nan=False, allow_infinity=False)
+ext = st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def kboxes(draw):
+    x = draw(pos)
+    y = draw(pos)
+    w = draw(ext)
+    h = draw(ext)
+    vx = draw(speed)
+    vy = draw(speed)
+    t_ref = draw(st.floats(min_value=0, max_value=3, allow_nan=False))
+    return KineticBox.rigid(Box(x, x + w, y, y + h), vx, vy, t_ref)
+
+
+class TestKnownCases:
+    def test_approaching(self):
+        a = KineticBox.rigid(Box(0, 1, 0, 1), 1, 0, 0.0)
+        b = KineticBox.rigid(Box(4, 5, 0, 1), 0, 0, 0.0)
+        iv = intersection_interval(a, b, 0.0)
+        assert iv.start == pytest.approx(3.0)
+        assert iv.end == pytest.approx(5.0)
+
+    def test_window_clipping(self):
+        a = KineticBox.rigid(Box(0, 1, 0, 1), 1, 0, 0.0)
+        b = KineticBox.rigid(Box(4, 5, 0, 1), 0, 0, 0.0)
+        iv = intersection_interval(a, b, 0.0, 4.0)
+        assert (iv.start, iv.end) == (pytest.approx(3.0), pytest.approx(4.0))
+        assert intersection_interval(a, b, 0.0, 2.0) is None
+        assert intersection_interval(a, b, 6.0, 10.0) is None
+
+    def test_always_intersecting(self):
+        a = KineticBox.rigid(Box(0, 10, 0, 10), 1, 1, 0.0)
+        b = KineticBox.rigid(Box(2, 3, 2, 3), 1, 1, 0.0)
+        iv = intersection_interval(a, b, 0.0)
+        assert iv.start == 0.0
+        assert iv.end == INF
+
+    def test_diverging(self):
+        a = KineticBox.rigid(Box(0, 1, 0, 1), -1, 0, 0.0)
+        b = KineticBox.rigid(Box(4, 5, 0, 1), 1, 0, 0.0)
+        assert intersection_interval(a, b, 0.0) is None
+
+    def test_y_separated(self):
+        a = KineticBox.rigid(Box(0, 1, 0, 1), 1, 0, 0.0)
+        b = KineticBox.rigid(Box(4, 5, 50, 51), 0, 0, 0.0)
+        assert intersection_interval(a, b, 0.0) is None
+
+    def test_different_reference_times(self):
+        # b is described as of t=2 but its motion covers all t.
+        a = KineticBox.rigid(Box(0, 1, 0, 1), 1, 0, 0.0)
+        b = KineticBox.rigid(Box(4, 5, 0, 1), 0, 0, 2.0)
+        iv = intersection_interval(a, b, 0.0)
+        assert iv.start == pytest.approx(3.0)
+
+    def test_touching_counts(self):
+        a = KineticBox.rigid(Box(0, 1, 0, 1), 0, 0, 0.0)
+        b = KineticBox.rigid(Box(1, 2, 0, 1), 0, 0, 0.0)
+        iv = intersection_interval(a, b, 0.0, 10.0)
+        assert iv == intersection_interval(b, a, 0.0, 10.0)
+        assert iv.start == 0.0
+
+    def test_invalid_window(self):
+        a = KineticBox.rigid(Box(0, 1, 0, 1), 0, 0, 0.0)
+        with pytest.raises(ValueError):
+            intersection_interval(a, a, 5.0, 4.0)
+
+    def test_helpers(self):
+        a = KineticBox.rigid(Box(0, 1, 0, 1), 1, 0, 0.0)
+        b = KineticBox.rigid(Box(4, 5, 0, 1), 0, 0, 0.0)
+        assert intersects_during(a, b, 0.0)
+        assert not intersects_during(a, b, 6.0, 7.0)
+        assert first_contact_time(a, b, 0.0) == pytest.approx(3.0)
+        assert first_contact_time(a, b, 6.0) is None
+
+
+class TestAgainstSampling:
+    @given(kboxes(), kboxes())
+    @settings(max_examples=300, deadline=None)
+    def test_matches_dense_sampling(self, a, b):
+        t0, t1 = 0.0, 20.0
+        iv = intersection_interval(a, b, t0, t1)
+        samples = 200
+        eps = 1e-7
+        for i in range(samples + 1):
+            t = t0 + (t1 - t0) * i / samples
+            static = a.at(t).intersects(b.at(t))
+            predicted = iv is not None and iv.start - eps <= t <= iv.end + eps
+            if static != predicted:
+                # Disagreement is only admissible (a) within rounding
+                # distance of the computed interval's endpoints, or
+                # (b) when the boxes are within the primitive's touch
+                # tolerance of each other (deliberate closed-set slack).
+                nearly_touching = a.at(t).min_distance(b.at(t)) < 1e-6
+                near_edge = iv is not None and (
+                    min(abs(t - iv.start), abs(t - iv.end)) < 1e-6
+                )
+                assert near_edge or nearly_touching, (a, b, t, iv, static, predicted)
+
+    @given(kboxes(), kboxes())
+    @settings(max_examples=150, deadline=None)
+    def test_symmetric(self, a, b):
+        iv_ab = intersection_interval(a, b, 0.0, 30.0)
+        iv_ba = intersection_interval(b, a, 0.0, 30.0)
+        assert (iv_ab is None) == (iv_ba is None)
+        if iv_ab is not None:
+            assert iv_ab.approx_equals(iv_ba, tol=1e-9)
+
+    @given(kboxes(), kboxes())
+    @settings(max_examples=150, deadline=None)
+    def test_window_monotone(self, a, b):
+        # Shrinking the window can only shrink the interval.
+        wide = intersection_interval(a, b, 0.0, 40.0)
+        narrow = intersection_interval(a, b, 10.0, 30.0)
+        if narrow is not None:
+            assert wide is not None
+            assert wide.start <= narrow.start + 1e-9
+            assert wide.end >= narrow.end - 1e-9
+
+    def test_unbounded_agrees_with_long_window(self):
+        rng = random.Random(99)
+        for _ in range(200):
+            a = random_kbox(rng)
+            b = random_kbox(rng)
+            unbounded = intersection_interval(a, b, 2.0)
+            long_win = intersection_interval(a, b, 2.0, 1e7)
+            if unbounded is None:
+                assert long_win is None
+            elif unbounded.end < 1e6:
+                assert long_win is not None
+                assert unbounded.approx_equals(long_win, tol=1e-6)

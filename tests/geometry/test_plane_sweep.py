@@ -1,0 +1,143 @@
+"""Tests for plane sweep over moving rectangles."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Box,
+    INF,
+    KineticBox,
+    all_pairs_intersection,
+    intersection_interval,
+    ps_intersection,
+    select_sweep_dimension,
+    sweep_bounds,
+)
+
+from ..conftest import random_kbox
+
+speed = st.floats(min_value=-4, max_value=4, allow_nan=False, allow_infinity=False)
+pos = st.floats(min_value=-30, max_value=30, allow_nan=False, allow_infinity=False)
+ext = st.floats(min_value=0.1, max_value=8.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def kboxes(draw):
+    x, y = draw(pos), draw(pos)
+    w, h = draw(ext), draw(ext)
+    vx, vy = draw(speed), draw(speed)
+    return KineticBox.rigid(Box(x, x + w, y, y + h), vx, vy, draw(
+        st.floats(min_value=0, max_value=2, allow_nan=False)
+    ))
+
+
+class TestSweepBounds:
+    def test_finite_window(self):
+        kb = KineticBox.rigid(Box(0, 1, 0, 1), 2, 0, 0.0)
+        lb, ub = sweep_bounds(kb, 0, 0.0, 3.0)
+        assert lb == 0.0       # min of lo(0)=0 and lo(3)=6
+        assert ub == 7.0       # max of hi(0)=1 and hi(3)=7
+
+    def test_negative_velocity(self):
+        kb = KineticBox.rigid(Box(10, 11, 0, 1), -2, 0, 0.0)
+        lb, ub = sweep_bounds(kb, 0, 0.0, 3.0)
+        assert lb == 4.0
+        assert ub == 11.0
+
+    def test_unbounded_window_degenerates(self):
+        kb = KineticBox.rigid(Box(0, 1, 0, 1), 2, 0, 0.0)
+        lb, ub = sweep_bounds(kb, 0, 0.0, INF)
+        assert lb == 0.0
+        assert ub == INF
+        kb_back = KineticBox.rigid(Box(0, 1, 0, 1), -2, 0, 0.0)
+        lb, ub = sweep_bounds(kb_back, 0, 0.0, INF)
+        assert lb == -INF
+        assert ub == 1.0
+
+    @given(kboxes(), st.floats(min_value=0, max_value=5, allow_nan=False),
+           st.floats(min_value=0, max_value=20, allow_nan=False))
+    @settings(max_examples=200)
+    def test_bounds_bracket_motion(self, kb, t0_off, length):
+        t0 = kb.t_ref + t0_off
+        t1 = t0 + length
+        lb, ub = sweep_bounds(kb, 0, t0, t1)
+        for i in range(11):
+            t = t0 + (t1 - t0) * i / 10
+            assert lb - 1e-9 <= kb.lo(0, t)
+            assert kb.hi(0, t) <= ub + 1e-9
+
+
+class TestDimensionSelection:
+    def test_prefers_slow_dimension(self):
+        # Entries race along x but crawl along y → sweep on y.
+        fast_x = [
+            KineticBox.rigid(Box(i, i + 1, 0, 1), 5.0, 0.1, 0.0) for i in range(4)
+        ]
+        assert select_sweep_dimension(fast_x, fast_x) == 1
+        fast_y = [
+            KineticBox.rigid(Box(i, i + 1, 0, 1), 0.1, 5.0, 0.0) for i in range(4)
+        ]
+        assert select_sweep_dimension(fast_y, fast_y) == 0
+
+
+class TestPSIntersection:
+    def _norm(self, triples):
+        return sorted(
+            (i, j, round(iv.start, 9), round(iv.end, 9)) for i, j, iv in triples
+        )
+
+    def test_empty_inputs(self):
+        assert ps_intersection([], [], 0.0, 10.0) == []
+        kb = KineticBox.rigid(Box(0, 1, 0, 1), 0, 0, 0.0)
+        assert ps_intersection([kb], [], 0.0, 10.0) == []
+
+    def test_matches_all_pairs_fuzz(self):
+        rng = random.Random(17)
+        for trial in range(150):
+            boxes_a = [random_kbox(rng) for _ in range(rng.randint(1, 15))]
+            boxes_b = [random_kbox(rng) for _ in range(rng.randint(1, 15))]
+            t0 = rng.uniform(2, 6)
+            t1 = t0 + rng.uniform(0, 25)
+            got = self._norm(ps_intersection(boxes_a, boxes_b, t0, t1))
+            want = self._norm(all_pairs_intersection(boxes_a, boxes_b, t0, t1))
+            assert got == want, trial
+
+    def test_forced_dimension_same_result(self):
+        rng = random.Random(3)
+        boxes_a = [random_kbox(rng) for _ in range(10)]
+        boxes_b = [random_kbox(rng) for _ in range(10)]
+        r0 = self._norm(ps_intersection(boxes_a, boxes_b, 2.0, 12.0, dim=0))
+        r1 = self._norm(ps_intersection(boxes_a, boxes_b, 2.0, 12.0, dim=1))
+        auto = self._norm(ps_intersection(boxes_a, boxes_b, 2.0, 12.0))
+        assert r0 == r1 == auto
+
+    def test_counter_counts_fewer_tests_than_all_pairs(self):
+        # The whole point of PS: fewer exact tests on sparse data.
+        rng = random.Random(5)
+        boxes_a = [random_kbox(rng, space=500.0, max_speed=0.5) for _ in range(60)]
+        boxes_b = [random_kbox(rng, space=500.0, max_speed=0.5) for _ in range(60)]
+        c_ps, c_np = [0], [0]
+        ps_intersection(boxes_a, boxes_b, 2.0, 10.0, counter=c_ps)
+        all_pairs_intersection(boxes_a, boxes_b, 2.0, 10.0, counter=c_np)
+        assert c_np[0] == 3600
+        assert c_ps[0] < c_np[0] / 4
+
+    def test_intervals_clipped_to_window(self):
+        a = KineticBox.rigid(Box(0, 1, 0, 1), 1, 0, 0.0)
+        b = KineticBox.rigid(Box(4, 5, 0, 1), 0, 0, 0.0)
+        [(i, j, iv)] = ps_intersection([a], [b], 0.0, 4.0)
+        assert (i, j) == (0, 0)
+        assert iv.end == pytest.approx(4.0)
+
+    def test_pairwise_against_primitive(self):
+        rng = random.Random(8)
+        boxes_a = [random_kbox(rng) for _ in range(8)]
+        boxes_b = [random_kbox(rng) for _ in range(8)]
+        triples = ps_intersection(boxes_a, boxes_b, 2.0, 20.0)
+        for i, j, iv in triples:
+            direct = intersection_interval(boxes_a[i], boxes_b[j], 2.0, 20.0)
+            assert direct is not None
+            assert direct.approx_equals(iv)

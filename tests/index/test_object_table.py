@@ -1,0 +1,58 @@
+"""Tests for the object table."""
+
+import pytest
+
+from repro.geometry import Box
+from repro.index import ObjectTable
+from repro.objects import MovingObject
+
+
+def obj(oid, x=0.0):
+    return MovingObject(oid, Box(x, x + 1, 0, 1), 1, 0, 0.0)
+
+
+class TestObjectTable:
+    def test_put_get(self):
+        table = ObjectTable()
+        table.put(obj(1))
+        assert table.get(1).oid == 1
+        assert 1 in table
+        assert len(table) == 1
+
+    def test_overwrite(self):
+        table = ObjectTable()
+        table.put(obj(1, x=0.0))
+        table.put(obj(1, x=9.0))
+        assert table.get(1).kbox.mbr.x_lo == 9.0
+        assert len(table) == 1
+
+    def test_tags(self):
+        table = ObjectTable()
+        table.put(obj(1), tag=4)
+        assert table.tag(1) == 4
+        table.put(obj(2))
+        assert table.tag(2) is None
+
+    def test_pop(self):
+        table = ObjectTable()
+        table.put(obj(1), tag=7)
+        stored, tag = table.pop(1)
+        assert stored.oid == 1
+        assert tag == 7
+        assert 1 not in table
+        with pytest.raises(KeyError):
+            table.pop(1)
+
+    def test_missing_raises(self):
+        table = ObjectTable()
+        with pytest.raises(KeyError):
+            table.get(5)
+        with pytest.raises(KeyError):
+            table.tag(5)
+
+    def test_iteration(self):
+        table = ObjectTable()
+        for i in range(5):
+            table.put(obj(i))
+        assert sorted(table) == [0, 1, 2, 3, 4]
+        assert sorted(o.oid for o in table.objects()) == [0, 1, 2, 3, 4]

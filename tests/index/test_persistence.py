@@ -1,0 +1,131 @@
+"""Whole-tree save/load round-trips."""
+
+import random
+
+import pytest
+
+from repro.geometry import Box, KineticBox, intersection_interval
+from repro.index import TPRStarTree, TPRTree, load_tree, save_tree
+
+from ..conftest import random_object, random_objects
+
+
+def build(n=300, seed=12, **kwargs):
+    tree = TPRStarTree(**kwargs)
+    objects = random_objects(seed, n)
+    for obj in objects:
+        tree.insert(obj, 0.0)
+    return tree, objects
+
+
+class TestSaveLoad:
+    def test_roundtrip_counts_and_invariants(self, tmp_path):
+        tree, _objects = build()
+        path = str(tmp_path / "tree.db")
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        assert len(loaded) == len(tree)
+        assert loaded.height == tree.height
+        assert loaded.node_capacity == tree.node_capacity
+        assert loaded.horizon == tree.horizon
+        loaded.validate(0.0)
+
+    def test_search_identical(self, tmp_path):
+        tree, objects = build(seed=13)
+        path = str(tmp_path / "tree.db")
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        region = KineticBox.rigid(Box(100, 500, 200, 700), 1.0, -0.5, 0.0)
+        got = sorted(loaded.search(region, 0.0, 50.0))
+        want = sorted(tree.search(region, 0.0, 50.0))
+        assert [g[0] for g in got] == [w[0] for w in want]
+        oracle = {
+            o.oid
+            for o in objects
+            if intersection_interval(o.kbox, region, 0.0, 50.0) is not None
+        }
+        assert {g[0] for g in got} == oracle
+
+    def test_loaded_tree_supports_updates(self, tmp_path):
+        tree, objects = build(n=150, seed=14)
+        path = str(tmp_path / "tree.db")
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        rng = random.Random(5)
+        by_id = {o.oid: o for o in objects}
+        for oid in rng.sample(sorted(by_id), 60):
+            newer = by_id[oid].updated(3.0)
+            loaded.update(newer, 3.0)
+        for oid in rng.sample(sorted(by_id), 30):
+            loaded.delete(oid, 4.0)
+        new_obj = random_object(rng, 999999, t_ref=4.0)
+        loaded.insert(new_obj, 4.0)
+        loaded.validate(4.0)
+        assert loaded.guided_delete_misses == 0
+
+    def test_empty_tree(self, tmp_path):
+        tree = TPRStarTree()
+        path = str(tmp_path / "empty.db")
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        assert len(loaded) == 0
+        assert loaded.height == 1
+
+    def test_overwrite_existing_file(self, tmp_path):
+        path = str(tmp_path / "tree.db")
+        tree1, _ = build(n=50, seed=1)
+        save_tree(tree1, path)
+        tree2, _ = build(n=120, seed=2)
+        save_tree(tree2, path)
+        assert len(load_tree(path)) == 120
+
+    def test_wrong_file_rejected(self, tmp_path):
+        from repro.storage import FileDiskManager
+
+        path = str(tmp_path / "other.db")
+        disk = FileDiskManager(path)
+        disk.allocate()
+        disk.write_page(0, b"\x00" * 64)
+        disk.close()
+        with pytest.raises(ValueError):
+            load_tree(path)
+
+    def test_custom_tree_class(self, tmp_path):
+        tree, _ = build(n=40, seed=3)
+        path = str(tmp_path / "tree.db")
+        save_tree(tree, path)
+        loaded = load_tree(path, tree_class=TPRTree)
+        assert type(loaded) is TPRTree
+        loaded.validate(0.0)
+
+    def test_forest_roundtrip(self, tmp_path):
+        from repro.index import MTBTree, load_forest, save_forest
+
+        forest = MTBTree(t_m=20.0)
+        objects = random_objects(21, 120)
+        for obj in objects[:70]:
+            forest.insert(obj, 0.0)
+        for obj in objects[70:]:
+            aged = obj.updated(15.0)
+            forest.insert(aged, 15.0)
+        directory = str(tmp_path / "forest")
+        save_forest(forest, directory)
+        loaded = load_forest(directory)
+        assert len(loaded) == len(forest)
+        assert loaded.num_buckets == forest.num_buckets
+        assert loaded.t_m == forest.t_m
+        loaded.validate(15.0)
+        # The loaded forest remains maintainable.
+        fresh = objects[0].updated(16.0)
+        loaded.update(fresh, 16.0)
+        assert loaded.objects.get(fresh.oid).t_ref == 16.0
+
+    def test_multi_page_object_table(self, tmp_path):
+        """>50 objects per page forces the object chain to span pages."""
+        tree, _ = build(n=200, seed=4)
+        path = str(tmp_path / "tree.db")
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        assert sorted(o.oid for o in loaded.all_objects()) == sorted(
+            o.oid for o in tree.all_objects()
+        )

@@ -1,0 +1,112 @@
+"""ImprovedJoin: every technique combination must be exact."""
+
+import random
+
+import pytest
+
+from repro.geometry import INF
+from repro.index import TPRStarTree, TreeStorage
+from repro.join import JoinTechniques, brute_force_join, improved_join
+
+from ..conftest import random_objects
+
+ALL_COMBOS = [
+    (ps, ds, ic)
+    for ps in (False, True)
+    for ds in (False, True)
+    for ic in (False, True)
+]
+
+
+def norm(triples):
+    return sorted((a, b, round(iv.start, 6), round(iv.end, 6)) for a, b, iv in triples)
+
+
+def build_pair(n, seed):
+    storage = TreeStorage()
+    tree_a = TPRStarTree(storage=storage)
+    tree_b = TPRStarTree(storage=storage)
+    objs_a = random_objects(seed, n)
+    objs_b = random_objects(seed + 1, n, id_offset=100000)
+    for o in objs_a:
+        tree_a.insert(o, 0.0)
+    for o in objs_b:
+        tree_b.insert(o, 0.0)
+    return tree_a, tree_b, objs_a, objs_b
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("ps,ds,ic", ALL_COMBOS)
+    def test_every_combination_matches_bruteforce(self, ps, ds, ic):
+        tree_a, tree_b, objs_a, objs_b = build_pair(200, seed=100)
+        tech = JoinTechniques(use_ps=ps, use_ds=ds, use_ic=ic)
+        got = norm(improved_join(tree_a, tree_b, 0.0, 60.0, tech))
+        want = norm(brute_force_join(objs_a, objs_b, 0.0, 60.0))
+        assert got == want
+
+    def test_multiple_seeds_all_techniques(self):
+        for seed in (7, 21, 55):
+            tree_a, tree_b, objs_a, objs_b = build_pair(150, seed=seed)
+            got = norm(improved_join(tree_a, tree_b, 0.0, 60.0))
+            want = norm(brute_force_join(objs_a, objs_b, 0.0, 60.0))
+            assert got == want, seed
+
+    def test_asymmetric_heights(self):
+        storage = TreeStorage()
+        tree_a = TPRStarTree(storage=storage)
+        tree_b = TPRStarTree(storage=storage)
+        objs_a = random_objects(3, 700)
+        objs_b = random_objects(4, 25, id_offset=100000)
+        for o in objs_a:
+            tree_a.insert(o, 0.0)
+        for o in objs_b:
+            tree_b.insert(o, 0.0)
+        assert tree_a.height != tree_b.height
+        got = norm(improved_join(tree_a, tree_b, 0.0, 45.0))
+        want = norm(brute_force_join(objs_a, objs_b, 0.0, 45.0))
+        assert got == want
+
+    def test_unbounded_window_rejected(self):
+        tree_a, tree_b, _a, _b = build_pair(20, seed=1)
+        with pytest.raises(ValueError):
+            improved_join(tree_a, tree_b, 0.0, INF)
+
+    def test_empty_trees(self):
+        storage = TreeStorage()
+        tree_a = TPRStarTree(storage=storage)
+        tree_b = TPRStarTree(storage=storage)
+        assert improved_join(tree_a, tree_b, 0.0, 60.0) == []
+
+
+class TestEfficiency:
+    def test_techniques_reduce_pair_tests(self):
+        """ALL must do strictly less exact-test work than None."""
+        tree_a, tree_b, _a, _b = build_pair(400, seed=200)
+        tracker = tree_a.storage.tracker
+
+        tracker.reset()
+        improved_join(tree_a, tree_b, 0.0, 60.0, JoinTechniques.none())
+        tests_none = tracker.pair_tests
+
+        tracker.reset()
+        improved_join(tree_a, tree_b, 0.0, 60.0, JoinTechniques.all())
+        tests_all = tracker.pair_tests
+
+        assert tests_all < tests_none / 2
+
+    def test_ic_tightens_windows(self):
+        """IC alone must also reduce tests (space + time pruning)."""
+        tree_a, tree_b, _a, _b = build_pair(400, seed=201)
+        tracker = tree_a.storage.tracker
+
+        tracker.reset()
+        improved_join(tree_a, tree_b, 0.0, 60.0, JoinTechniques.none())
+        tests_none = tracker.pair_tests
+
+        tracker.reset()
+        improved_join(
+            tree_a, tree_b, 0.0, 60.0,
+            JoinTechniques(use_ps=False, use_ds=False, use_ic=True),
+        )
+        tests_ic = tracker.pair_tests
+        assert tests_ic < tests_none

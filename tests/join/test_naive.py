@@ -1,0 +1,78 @@
+"""NaiveJoin vs the brute-force oracle, including asymmetric trees."""
+
+import random
+
+from repro.geometry import INF
+from repro.index import TPRStarTree, TreeStorage
+from repro.join import brute_force_join, naive_join
+
+from ..conftest import random_objects
+
+
+def norm(triples):
+    return sorted(
+        (a, b, round(iv.start, 6), iv.end if iv.end == INF else round(iv.end, 6))
+        for a, b, iv in triples
+    )
+
+
+def build_pair(n_a, n_b, seed=0):
+    storage = TreeStorage()
+    tree_a = TPRStarTree(storage=storage)
+    tree_b = TPRStarTree(storage=storage)
+    objs_a = random_objects(seed, n_a)
+    objs_b = random_objects(seed + 1, n_b, id_offset=100000)
+    for o in objs_a:
+        tree_a.insert(o, 0.0)
+    for o in objs_b:
+        tree_b.insert(o, 0.0)
+    return tree_a, tree_b, objs_a, objs_b
+
+
+class TestNaiveJoin:
+    def test_windowed_matches_bruteforce(self):
+        tree_a, tree_b, objs_a, objs_b = build_pair(250, 250, seed=10)
+        got = norm(naive_join(tree_a, tree_b, 0.0, 60.0))
+        want = norm(brute_force_join(objs_a, objs_b, 0.0, 60.0))
+        assert got == want
+        assert got  # non-trivial workload
+
+    def test_unbounded_matches_bruteforce(self):
+        tree_a, tree_b, objs_a, objs_b = build_pair(150, 150, seed=11)
+        got = norm(naive_join(tree_a, tree_b, 0.0))
+        want = norm(brute_force_join(objs_a, objs_b, 0.0))
+        assert got == want
+
+    def test_asymmetric_sizes(self):
+        """Different tree heights exercise the single-side descent."""
+        tree_a, tree_b, objs_a, objs_b = build_pair(800, 20, seed=12)
+        assert tree_a.height > tree_b.height
+        got = norm(naive_join(tree_a, tree_b, 0.0, 40.0))
+        want = norm(brute_force_join(objs_a, objs_b, 0.0, 40.0))
+        assert got == want
+        # And mirrored.
+        got_rev = norm(naive_join(tree_b, tree_a, 0.0, 40.0))
+        want_rev = norm(brute_force_join(objs_b, objs_a, 0.0, 40.0))
+        assert got_rev == want_rev
+
+    def test_empty_tree_short_circuits(self):
+        storage = TreeStorage()
+        tree_a = TPRStarTree(storage=storage)
+        tree_b = TPRStarTree(storage=storage)
+        for o in random_objects(1, 50):
+            tree_a.insert(o, 0.0)
+        assert naive_join(tree_a, tree_b, 0.0) == []
+        assert naive_join(tree_b, tree_a, 0.0) == []
+
+    def test_later_start_time(self):
+        tree_a, tree_b, objs_a, objs_b = build_pair(200, 200, seed=13)
+        got = norm(naive_join(tree_a, tree_b, 25.0, 80.0))
+        want = norm(brute_force_join(objs_a, objs_b, 25.0, 80.0))
+        assert got == want
+
+    def test_counts_pair_tests(self):
+        tree_a, tree_b, _objs_a, _objs_b = build_pair(100, 100, seed=14)
+        tracker = tree_a.storage.tracker
+        before = tracker.pair_tests
+        naive_join(tree_a, tree_b, 0.0, 60.0)
+        assert tracker.pair_tests > before

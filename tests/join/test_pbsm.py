@@ -1,0 +1,71 @@
+"""PBSM join: exactness (incl. duplicate elimination) vs brute force."""
+
+import pytest
+
+from repro.geometry import INF
+from repro.join import brute_force_join, pbsm_join
+from repro.metrics import CostTracker
+from repro.workloads import make_workload
+
+from ..conftest import random_objects
+
+
+def norm(triples):
+    return sorted((a, b, round(iv.start, 6), round(iv.end, 6)) for a, b, iv in triples)
+
+
+class TestPBSM:
+    @pytest.mark.parametrize("grid", [1, 2, 4, 8])
+    def test_matches_bruteforce_any_grid(self, grid):
+        objs_a = random_objects(60, 150)
+        objs_b = random_objects(61, 150, id_offset=100000)
+        got = norm(pbsm_join(objs_a, objs_b, 0.0, 60.0, grid=grid))
+        want = norm(brute_force_join(objs_a, objs_b, 0.0, 60.0))
+        assert got == want, grid
+
+    def test_no_duplicate_pairs(self):
+        """Replicated objects must be deduplicated by the reference tile."""
+        objs_a = random_objects(62, 200, max_speed=5.0)
+        objs_b = random_objects(63, 200, id_offset=100000, max_speed=5.0)
+        triples = pbsm_join(objs_a, objs_b, 0.0, 60.0, grid=6)
+        keys = [(t.a_oid, t.b_oid) for t in triples]
+        assert len(keys) == len(set(keys))
+
+    def test_auto_grid(self):
+        objs_a = random_objects(64, 120)
+        objs_b = random_objects(65, 120, id_offset=100000)
+        got = norm(pbsm_join(objs_a, objs_b, 0.0, 40.0))
+        want = norm(brute_force_join(objs_a, objs_b, 0.0, 40.0))
+        assert got == want
+
+    @pytest.mark.parametrize("distribution", ["gaussian", "battlefield"])
+    def test_skewed_distributions(self, distribution):
+        scenario = make_workload(
+            150, distribution, max_speed=3.0, object_size_pct=1.0, seed=5
+        )
+        got = norm(pbsm_join(
+            scenario.set_a, scenario.set_b, 0.0, 30.0,
+            space_size=scenario.space_size, grid=5,
+        ))
+        want = norm(brute_force_join(scenario.set_a, scenario.set_b, 0.0, 30.0))
+        assert got == want
+
+    def test_unbounded_window_rejected(self):
+        objs = random_objects(1, 5)
+        with pytest.raises(ValueError):
+            pbsm_join(objs, objs, 0.0, INF)
+        with pytest.raises(ValueError):
+            pbsm_join(objs, objs, 5.0, 4.0)
+
+    def test_partitioning_reduces_tests(self):
+        """The whole point: far fewer exact tests than all-pairs."""
+        objs_a = random_objects(66, 400, max_speed=1.0)
+        objs_b = random_objects(67, 400, id_offset=100000, max_speed=1.0)
+        tracker = CostTracker()
+        pbsm_join(objs_a, objs_b, 0.0, 20.0, grid=8, tracker=tracker)
+        assert tracker.pair_tests < 400 * 400 / 4
+
+    def test_empty_inputs(self):
+        objs = random_objects(2, 10)
+        assert pbsm_join([], objs, 0.0, 10.0) == []
+        assert pbsm_join(objs, [], 0.0, 10.0) == []

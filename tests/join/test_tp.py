@@ -1,0 +1,121 @@
+"""TP-Join: current pairs, expiry time, and influence scans."""
+
+import random
+
+import pytest
+
+from repro.geometry import INF, intersection_interval
+from repro.index import TPRStarTree, TreeStorage
+from repro.join import brute_force_pairs_at, influence_scan, tp_join
+
+from ..conftest import random_object, random_objects
+
+
+def build_pair(n, seed, max_speed=3.0):
+    storage = TreeStorage()
+    tree_a = TPRStarTree(storage=storage)
+    tree_b = TPRStarTree(storage=storage)
+    objs_a = random_objects(seed, n, max_speed=max_speed)
+    objs_b = random_objects(seed + 1, n, id_offset=100000, max_speed=max_speed)
+    for o in objs_a:
+        tree_a.insert(o, 0.0)
+    for o in objs_b:
+        tree_b.insert(o, 0.0)
+    return tree_a, tree_b, objs_a, objs_b
+
+
+def brute_expiry(objs_a, objs_b, t_now):
+    """Earliest strictly-future result-change time and its events."""
+    best = INF
+    events = []
+    for a in objs_a:
+        for b in objs_b:
+            iv = intersection_interval(a.kbox, b.kbox, t_now, INF)
+            if iv is None:
+                continue
+            if iv.start <= t_now:
+                if t_now < iv.end < INF:
+                    time, event = iv.end, (a.oid, b.oid, False)
+                else:
+                    continue
+            else:
+                time, event = iv.start, (a.oid, b.oid, True)
+            if time < best:
+                best, events = time, [event]
+            elif time == best:
+                events.append(event)
+    return best, events
+
+
+class TestTPJoin:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_current_pairs_match_bruteforce(self, seed):
+        tree_a, tree_b, objs_a, objs_b = build_pair(150, seed=seed * 50)
+        answer = tp_join(tree_a, tree_b, 0.0)
+        assert answer.pairs == brute_force_pairs_at(objs_a, objs_b, 0.0)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_expiry_and_events_match_bruteforce(self, seed):
+        tree_a, tree_b, objs_a, objs_b = build_pair(120, seed=seed * 91)
+        answer = tp_join(tree_a, tree_b, 0.0)
+        want_expiry, want_events = brute_expiry(objs_a, objs_b, 0.0)
+        assert answer.expiry == pytest.approx(want_expiry)
+        assert sorted(answer.events) == sorted(want_events)
+
+    def test_later_timestamp(self):
+        tree_a, tree_b, objs_a, objs_b = build_pair(120, seed=777)
+        t = 13.5
+        answer = tp_join(tree_a, tree_b, t)
+        assert answer.pairs == brute_force_pairs_at(objs_a, objs_b, t)
+        want_expiry, _ = brute_expiry(objs_a, objs_b, t)
+        assert answer.expiry == pytest.approx(want_expiry)
+        assert answer.expiry > t
+
+    def test_empty_trees(self):
+        storage = TreeStorage()
+        tree_a = TPRStarTree(storage=storage)
+        tree_b = TPRStarTree(storage=storage)
+        answer = tp_join(tree_a, tree_b, 0.0)
+        assert answer.pairs == set()
+        assert answer.expiry == INF
+        assert answer.events == []
+
+    def test_prunes_versus_naive(self):
+        """TP-Join should test far fewer pairs than the full traversal —
+        that is its raison d'être."""
+        tree_a, tree_b, objs_a, objs_b = build_pair(400, seed=5)
+        tracker = tree_a.storage.tracker
+        tracker.reset()
+        tp_join(tree_a, tree_b, 0.0)
+        tp_tests = tracker.pair_tests
+        from repro.join import naive_join
+
+        tracker.reset()
+        naive_join(tree_a, tree_b, 0.0)
+        naive_tests = tracker.pair_tests
+        assert tp_tests < naive_tests / 2
+
+
+class TestInfluenceScan:
+    def test_partners_and_influence(self):
+        tree_a, _tree_b, objs_a, _objs_b = build_pair(150, seed=31)
+        probe = random_object(random.Random(8), 999999, t_ref=0.0)
+        triples, min_inf = influence_scan(tree_a, probe.kbox, 0.0)
+        # Oracle
+        want = []
+        want_inf = INF
+        for a in objs_a:
+            iv = intersection_interval(a.kbox, probe.kbox, 0.0, INF)
+            if iv is None:
+                continue
+            want.append((a.oid, round(iv.start, 6)))
+            if iv.start > 0.0:
+                want_inf = min(want_inf, iv.start)
+            elif 0.0 < iv.end < INF:
+                want_inf = min(want_inf, iv.end)
+        got = sorted((t.b_oid, round(t.interval.start, 6)) for t in triples)
+        assert got == sorted(want)
+        if want_inf == INF:
+            assert min_inf == INF
+        else:
+            assert min_inf == pytest.approx(want_inf)

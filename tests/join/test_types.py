@@ -1,0 +1,52 @@
+"""Tests for join result types and the brute-force oracle itself."""
+
+from repro.geometry import Box, INF, TimeInterval
+from repro.join import JoinTriple, brute_force_join, brute_force_pairs_at
+from repro.objects import MovingObject
+
+
+class TestJoinTriple:
+    def test_fields_and_key(self):
+        triple = JoinTriple(1, 2, TimeInterval(0, 5))
+        assert triple.a_oid == 1
+        assert triple.b_oid == 2
+        assert triple.key() == (1, 2)
+
+    def test_tuple_compatibility(self):
+        a, b, iv = JoinTriple(1, 2, TimeInterval(0, 5))
+        assert (a, b) == (1, 2)
+        assert iv == TimeInterval(0, 5)
+
+
+class TestBruteForce:
+    def test_known_configuration(self):
+        a = MovingObject(1, Box(0, 1, 0, 1), 1, 0, 0.0)
+        b1 = MovingObject(10, Box(4, 5, 0, 1), 0, 0, 0.0)   # met at t=3..5
+        b2 = MovingObject(11, Box(4, 5, 50, 51), 0, 0, 0.0)  # never
+        triples = brute_force_join([a], [b1, b2], 0.0)
+        assert len(triples) == 1
+        assert triples[0].key() == (1, 10)
+        assert triples[0].interval.start == 3.0
+
+    def test_window_excludes(self):
+        a = MovingObject(1, Box(0, 1, 0, 1), 1, 0, 0.0)
+        b = MovingObject(10, Box(4, 5, 0, 1), 0, 0, 0.0)
+        assert brute_force_join([a], [b], 0.0, 2.0) == []
+
+    def test_pairs_at_snapshot(self):
+        a = MovingObject(1, Box(0, 1, 0, 1), 1, 0, 0.0)
+        b = MovingObject(10, Box(4, 5, 0, 1), 0, 0, 0.0)
+        assert brute_force_pairs_at([a], [b], 0.0) == set()
+        assert brute_force_pairs_at([a], [b], 4.0) == {(1, 10)}
+        assert brute_force_pairs_at([a], [b], 6.0) == set()
+
+    def test_pairs_at_touching_counts(self):
+        a = MovingObject(1, Box(0, 1, 0, 1), 0, 0, 0.0)
+        b = MovingObject(10, Box(1, 2, 0, 1), 0, 0, 0.0)
+        assert brute_force_pairs_at([a], [b], 0.0) == {(1, 10)}
+
+    def test_unbounded_interval(self):
+        a = MovingObject(1, Box(0, 10, 0, 10), 1, 1, 0.0)
+        b = MovingObject(10, Box(2, 3, 2, 3), 1, 1, 0.0)
+        [triple] = brute_force_join([a], [b], 0.0)
+        assert triple.interval.end == INF

@@ -1,0 +1,172 @@
+"""Exact-shape predicates and the refinement pipeline."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import Box
+from repro.objects import MovingObject
+from repro.refine import Circle, ConvexPolygon, Sector, refine_pairs
+
+
+class TestCircle:
+    def test_circle_circle(self):
+        assert Circle(0, 0, 5).intersects(Circle(9.99, 0, 5))
+        assert not Circle(0, 0, 5).intersects(Circle(10.01, 0, 5))
+
+    def test_touching_counts(self):
+        assert Circle(0, 0, 5).intersects(Circle(10, 0, 5))
+
+    def test_containment_counts(self):
+        assert Circle(0, 0, 10).intersects(Circle(1, 1, 0.5))
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Circle(0, 0, -1)
+
+    def test_mbr(self):
+        assert Circle(2, 3, 1).mbr() == Box(1, 3, 2, 4)
+
+    def test_translated(self):
+        moved = Circle(0, 0, 2).translated(5, -1)
+        assert (moved.cx, moved.cy, moved.r) == (5, -1, 2)
+
+
+class TestPolygon:
+    def test_rectangle_factory(self):
+        poly = ConvexPolygon.rectangle(Box(0, 2, 0, 1))
+        assert poly.mbr() == Box(0, 2, 0, 1)
+
+    def test_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            ConvexPolygon([(0, 0), (1, 1)])
+
+    def test_non_convex_rejected(self):
+        with pytest.raises(ValueError):
+            ConvexPolygon([(0, 0), (4, 0), (1, 1), (4, 4)])
+
+    def test_clockwise_rejected(self):
+        with pytest.raises(ValueError):
+            ConvexPolygon([(0, 0), (0, 1), (1, 1), (1, 0)])
+
+    def test_polygon_polygon_sat(self):
+        a = ConvexPolygon.rectangle(Box(0, 2, 0, 2))
+        b = ConvexPolygon.rectangle(Box(1, 3, 1, 3))
+        c = ConvexPolygon.rectangle(Box(5, 6, 5, 6))
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_rotated_squares(self):
+        diamond = ConvexPolygon([(2, 0), (4, 2), (2, 4), (0, 2)])
+        square = ConvexPolygon.rectangle(Box(3, 5, 3, 5))
+        # Diamond's top-right edge passes through (3,3)… touching.
+        assert diamond.intersects(square)
+        far = ConvexPolygon.rectangle(Box(4.1, 5, 4.1, 5))
+        assert not diamond.intersects(far)
+
+    def test_circle_polygon(self):
+        rect = ConvexPolygon.rectangle(Box(4, 8, -1, 1))
+        assert Circle(0, 0, 5).intersects(rect)
+        assert rect.intersects(Circle(0, 0, 5))  # symmetric dispatch
+        assert not Circle(0, 0, 3.9).intersects(rect)
+
+    def test_circle_inside_polygon(self):
+        rect = ConvexPolygon.rectangle(Box(-10, 10, -10, 10))
+        assert Circle(0, 0, 1).intersects(rect)
+
+    def test_matches_sampling_fuzz(self):
+        """SAT verdicts agree with dense point sampling (one-sided:
+        sampling can only prove intersection)."""
+        rng = random.Random(77)
+        for _ in range(100):
+            ax, ay = rng.uniform(-5, 5), rng.uniform(-5, 5)
+            bx, by = rng.uniform(-5, 5), rng.uniform(-5, 5)
+            a = ConvexPolygon.rectangle(Box(ax, ax + 3, ay, ay + 2))
+            b = ConvexPolygon([(bx, by), (bx + 2, by + 1), (bx + 1, by + 3)])
+            verdict = a.intersects(b)
+            sampled_hit = False
+            for i in range(15):
+                for j in range(15):
+                    px = bx + (i / 14) * 2
+                    py = by + (j / 14) * 3
+                    from repro.refine.shapes import _point_polygon_distance
+
+                    if (
+                        _point_polygon_distance(px, py, b) == 0.0
+                        and _point_polygon_distance(px, py, a) == 0.0
+                    ):
+                        sampled_hit = True
+            if sampled_hit:
+                assert verdict
+
+
+class TestSector:
+    def test_axis_aligned_hits(self):
+        sector = Sector(0, 0, 10, 0.0, math.pi / 6)
+        assert sector.intersects(ConvexPolygon.rectangle(Box(8, 9, -0.5, 0.5)))
+        assert not sector.intersects(ConvexPolygon.rectangle(Box(-5, -4, -0.5, 0.5)))
+        assert not sector.intersects(ConvexPolygon.rectangle(Box(3, 4, 5, 6)))
+
+    def test_circle_target(self):
+        sector = Sector(0, 0, 10, math.pi / 2, math.pi / 4)  # aims +y
+        assert sector.intersects(Circle(0, 8, 1))
+        assert not sector.intersects(Circle(0, -8, 1))
+
+    def test_conservative_near_arc(self):
+        """The polygonal sector circumscribes the true arc: anything
+        within the true radius along the heading must be admitted."""
+        sector = Sector(0, 0, 10, 0.0, math.pi / 3, arc_segments=4)
+        assert sector.intersects(Circle(10.0, 0, 1e-9))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Sector(0, 0, -1, 0, 1)
+        with pytest.raises(ValueError):
+            Sector(0, 0, 1, 0, math.pi)  # non-convex
+        with pytest.raises(ValueError):
+            Sector(0, 0, 1, 0, 0.5, arc_segments=0)
+
+    def test_translated(self):
+        sector = Sector(0, 0, 5, 0.0, math.pi / 4)
+        moved = sector.translated(10, 2)
+        assert moved.intersects(Circle(14, 2, 0.5))
+        assert not moved.intersects(Circle(4, 2, 0.5))
+
+
+class TestRefinePairs:
+    def test_filters_mbr_false_positives(self):
+        # Two circles whose MBRs overlap at the corners but whose disks
+        # do not touch.
+        a = MovingObject(1, Box(0, 10, 0, 10), 0, 0, 0.0)
+        b = MovingObject(100, Box(8.6, 18.6, 8.6, 18.6), 0, 0, 0.0)
+        shapes_a = {1: Circle(0, 0, 5)}
+        shapes_b = {100: Circle(0, 0, 5)}
+        assert a.mbr_at(0.0).intersects(b.mbr_at(0.0))
+        survivors = refine_pairs(
+            [(1, 100)], {1: a}, {100: b}, shapes_a, shapes_b, 0.0
+        )
+        assert survivors == []
+
+    def test_keeps_true_hits(self):
+        a = MovingObject(1, Box(0, 10, 0, 10), 0, 0, 0.0)
+        b = MovingObject(100, Box(6, 16, 0, 10), 0, 0, 0.0)
+        survivors = refine_pairs(
+            [(1, 100)], {1: a}, {100: b},
+            {1: Circle(0, 0, 5)}, {100: Circle(0, 0, 5)}, 0.0,
+        )
+        assert survivors == [(1, 100)]
+
+    def test_defaults_to_mbr_rectangles(self):
+        a = MovingObject(1, Box(0, 2, 0, 2), 1, 0, 0.0)
+        b = MovingObject(100, Box(3, 5, 0, 2), 0, 0, 0.0)
+        # At t=2 the MBRs intersect; no shapes registered.
+        survivors = refine_pairs([(1, 100)], {1: a}, {100: b}, {}, {}, 2.0)
+        assert survivors == [(1, 100)]
+
+    def test_moving_objects_refined_at_time(self):
+        a = MovingObject(1, Box(0, 10, 0, 10), 1, 0, 0.0)
+        b = MovingObject(100, Box(20, 30, 0, 10), 0, 0, 0.0)
+        shapes = ({1: Circle(0, 0, 5)}, {100: Circle(0, 0, 5)})
+        assert refine_pairs([(1, 100)], {1: a}, {100: b}, *shapes, 5.0) == []
+        assert refine_pairs([(1, 100)], {1: a}, {100: b}, *shapes, 15.0) == [(1, 100)]

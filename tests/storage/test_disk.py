@@ -1,0 +1,90 @@
+"""Tests for the simulated page-oriented disk."""
+
+import pytest
+
+from repro.metrics import CostTracker
+from repro.storage import DEFAULT_PAGE_SIZE, DiskManager, PageError
+
+
+class TestAllocation:
+    def test_allocate_distinct_ids(self):
+        disk = DiskManager()
+        ids = {disk.allocate() for _ in range(100)}
+        assert len(ids) == 100
+        assert disk.num_pages == 100
+
+    def test_deallocate_and_recycle(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        disk.deallocate(pid)
+        assert not disk.is_allocated(pid)
+        recycled = disk.allocate()
+        assert recycled == pid
+
+    def test_deallocate_unknown_raises(self):
+        disk = DiskManager()
+        with pytest.raises(PageError):
+            disk.deallocate(42)
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            DiskManager(page_size=0)
+
+
+class TestIO:
+    def test_roundtrip(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        disk.write_page(pid, b"hello world")
+        assert disk.read_page(pid) == b"hello world"
+
+    def test_copy_semantics(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        payload = bytearray(b"abc")
+        disk.write_page(pid, bytes(payload))
+        payload[0] = ord("z")
+        assert disk.read_page(pid) == b"abc"
+
+    def test_oversize_rejected(self):
+        disk = DiskManager(page_size=16)
+        pid = disk.allocate()
+        with pytest.raises(PageError):
+            disk.write_page(pid, b"x" * 17)
+        disk.write_page(pid, b"x" * 16)  # exactly fits
+
+    def test_unallocated_access_rejected(self):
+        disk = DiskManager()
+        with pytest.raises(PageError):
+            disk.read_page(7)
+        with pytest.raises(PageError):
+            disk.write_page(7, b"")
+
+    def test_default_page_size(self):
+        assert DiskManager().page_size == DEFAULT_PAGE_SIZE == 4096
+
+
+class TestAccounting:
+    def test_counts_reads_and_writes(self):
+        tracker = CostTracker()
+        disk = DiskManager(tracker=tracker)
+        pid = disk.allocate()
+        disk.write_page(pid, b"a")
+        disk.write_page(pid, b"b")
+        disk.read_page(pid)
+        assert tracker.page_writes == 2
+        assert tracker.page_reads == 1
+
+    def test_allocation_is_free(self):
+        tracker = CostTracker()
+        disk = DiskManager(tracker=tracker)
+        for _ in range(10):
+            disk.allocate()
+        assert tracker.page_reads == 0
+        assert tracker.page_writes == 0
+
+    def test_owns_tracker_by_default(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        disk.write_page(pid, b"x")
+        assert disk.tracker.page_writes == 1

@@ -1,0 +1,104 @@
+"""The analytic cost model: sanity, limits, and loose agreement with
+measured uniform workloads."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    WorkloadModel,
+    expected_join_pairs,
+    expected_node_pair_accesses,
+    pair_intersection_probability,
+    tc_speedup_ratio,
+)
+from repro.join import brute_force_join
+from repro.workloads import uniform_workload
+
+
+class TestProbability:
+    def test_static_touching_squares(self):
+        # Two unit squares in a 10x10 domain: P = (2/10)^2 = 0.04.
+        p = pair_intersection_probability(1, 1, 10, 0, 0)
+        assert p == pytest.approx(0.04)
+
+    def test_window_grows_probability(self):
+        p0 = pair_intersection_probability(1, 1, 100, 1.0, 0)
+        p10 = pair_intersection_probability(1, 1, 100, 1.0, 10)
+        p50 = pair_intersection_probability(1, 1, 100, 1.0, 50)
+        assert p0 < p10 < p50
+
+    def test_saturates_at_one(self):
+        assert pair_intersection_probability(60, 60, 100, 1, 100) == 1.0
+
+    def test_infinite_window(self):
+        assert pair_intersection_probability(1, 1, 1000, 0.5, math.inf) == 1.0
+        static = pair_intersection_probability(1, 1, 1000, 0.0, math.inf)
+        assert static == pytest.approx((2 / 1000) ** 2)
+
+
+class TestModelValidation:
+    def test_invalid_model(self):
+        with pytest.raises(ValueError):
+            WorkloadModel(0, 1000, 1, 1)
+        with pytest.raises(ValueError):
+            WorkloadModel(10, -1, 1, 1)
+
+
+class TestAgainstMeasurement:
+    def test_expected_pairs_within_factor_of_measured(self):
+        """Model vs measured pair counts on the default uniform workload
+        — agreement within a factor of 3 is what this model promises."""
+        n = 800
+        t_m = 60.0
+        scenario = uniform_workload(
+            n, seed=42, max_speed=2.0, object_size_pct=0.5, t_m=t_m
+        )
+        measured = len(brute_force_join(scenario.set_a, scenario.set_b, 0.0, t_m))
+        model = WorkloadModel(
+            n_objects=n,
+            space_size=scenario.space_size,
+            object_side=scenario.object_side,
+            max_speed=scenario.max_speed,
+        )
+        predicted = expected_join_pairs(model, t_m)
+        assert measured / 3 <= predicted <= measured * 3, (predicted, measured)
+
+    def test_tc_speedup_direction(self):
+        """The model must predict the Figure-7 direction: unbounded
+        windows cost strictly more, and more so for small slow objects."""
+        small = WorkloadModel(1000, 1000.0, 1.0, 2.0)
+        assert tc_speedup_ratio(small, 60.0) > 10.0
+        huge = WorkloadModel(1000, 1000.0, 400.0, 2.0)
+        assert tc_speedup_ratio(huge, 60.0) < tc_speedup_ratio(small, 60.0)
+
+    def test_speedup_at_least_one(self):
+        model = WorkloadModel(10, 100.0, 90.0, 0.0)
+        assert tc_speedup_ratio(model, 10.0) >= 1.0
+
+
+class TestNodeAccessModel:
+    def test_window_monotone(self):
+        model = WorkloadModel(5000, 1000.0, 1.0, 2.0)
+        narrow = expected_node_pair_accesses(model, 10.0)
+        wide = expected_node_pair_accesses(model, 60.0)
+        unbounded = expected_node_pair_accesses(model, math.inf)
+        assert narrow < wide <= unbounded
+
+    def test_unbounded_saturates_to_all_pairs(self):
+        """With an infinite window every node pair meets (the paper's
+        degeneration argument): probability 1 at every level."""
+        model = WorkloadModel(5000, 1000.0, 1.0, 2.0)
+        total = expected_node_pair_accesses(
+            model, math.inf, node_capacity=30, fill=0.7
+        )
+        fanout = 30 * 0.7
+        nodes1 = 5000 / fanout
+        assert total >= nodes1 * nodes1  # leaf-parent level alone
+
+    def test_larger_trees_cost_more(self):
+        small = WorkloadModel(1000, 1000.0, 1.0, 2.0)
+        large = WorkloadModel(10000, 1000.0, 1.0, 2.0)
+        assert expected_node_pair_accesses(
+            small, 60.0
+        ) < expected_node_pair_accesses(large, 60.0)

@@ -1,0 +1,137 @@
+"""CLI smoke and behaviour tests (all through the public entry point)."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--distribution", "spiral"])
+
+
+class TestGenerate:
+    def test_summary_fields(self):
+        code, text = run_cli("generate", "--objects", "50", "--seed", "3")
+        assert code == 0
+        assert "objects      : 50 per set" in text
+        assert "uniform" in text
+
+    def test_battlefield_centroids_split(self):
+        _code, text = run_cli(
+            "generate", "--objects", "200", "--distribution", "battlefield"
+        )
+        lines = dict(
+            line.split(":") for line in text.strip().splitlines() if ":" in line
+        )
+        a_x = float(lines["A centroid x "])
+        b_x = float(lines["B centroid x "])
+        assert a_x < 300 < 700 < b_x
+
+
+class TestRun:
+    def test_run_mtb(self):
+        code, text = run_cli(
+            "run", "--algorithm", "mtb", "--objects", "150",
+            "--tm", "10", "--steps", "5",
+        )
+        assert code == 0
+        assert "initial join" in text
+        assert "per update" in text
+        assert text.count("t=") == 5
+
+    def test_run_tc(self):
+        code, text = run_cli(
+            "run", "--algorithm", "tc", "--objects", "100",
+            "--tm", "10", "--steps", "3",
+        )
+        assert code == 0
+        assert "current pairs" in text
+
+
+class TestCompare:
+    def test_compare_table(self):
+        code, text = run_cli(
+            "compare", "--objects", "120", "--tm", "10",
+            "--algorithms", "tc,mtb", "--steps", "4",
+        )
+        assert code == 0
+        lines = [l for l in text.splitlines() if l.strip()]
+        assert lines[0].split()[:2] == ["algorithm", "init"]
+        assert any(l.strip().startswith("tc") for l in lines)
+        assert any(l.strip().startswith("mtb") for l in lines)
+
+
+class TestScenarioPersistence:
+    def test_generate_save_then_run_from_file(self, tmp_path):
+        path = str(tmp_path / "scenario.json")
+        code, text = run_cli(
+            "generate", "--objects", "60", "--seed", "5", "--save", path
+        )
+        assert code == 0
+        assert path in text
+        code, text = run_cli(
+            "run", "--scenario", path, "--algorithm", "mtb",
+            "--tm", "10", "--steps", "3",
+        )
+        assert code == 0
+        assert "per update" in text
+
+    def test_saved_scenario_is_deterministic_input(self, tmp_path):
+        path = str(tmp_path / "s.json")
+        run_cli("generate", "--objects", "40", "--seed", "9", "--save", path)
+        _code, text1 = run_cli("compare", "--scenario", path,
+                               "--algorithms", "mtb", "--tm", "10", "--steps", "2")
+        _code, text2 = run_cli("compare", "--scenario", path,
+                               "--algorithms", "mtb", "--tm", "10", "--steps", "2")
+
+        def counts(text):
+            # Drop the wall-clock column; everything else is exact.
+            return [line.split()[:-1] for line in text.splitlines() if line]
+
+        assert counts(text1) == counts(text2)
+
+
+class TestShow:
+    def test_renders_frames(self):
+        code, text = run_cli(
+            "show", "--objects", "80", "--tm", "10",
+            "--steps", "2", "--width", "40", "--height", "8",
+        )
+        assert code == 0
+        assert text.count("--- t=") == 3  # t=0 plus 2 steps
+        assert "dataset A/B" in text
+
+    def test_road_distribution_renders(self):
+        code, text = run_cli(
+            "show", "--objects", "60", "--distribution", "road",
+            "--tm", "10", "--steps", "1", "--width", "30", "--height", "6",
+        )
+        assert code == 0
+        assert "a" in text or "b" in text
+
+
+class TestStats:
+    def test_insert_built(self):
+        code, text = run_cli("stats", "--objects", "200")
+        assert code == 0
+        assert "insert-built" in text
+        assert "objects        : 200" in text
+
+    def test_bulk_loaded(self):
+        code, text = run_cli("stats", "--objects", "200", "--bulk-load")
+        assert code == 0
+        assert "bulk-loaded" in text

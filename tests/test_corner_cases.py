@@ -1,0 +1,194 @@
+"""Corner cases across the stack: degenerate workloads that historically
+break spatial index implementations."""
+
+import pytest
+
+from repro.core import ContinuousJoinEngine, JoinConfig
+from repro.geometry import Box, INF, KineticBox
+from repro.index import TPRStarTree
+from repro.join import brute_force_join, brute_force_pairs_at, naive_join, tc_join
+from repro.objects import MovingObject
+
+
+class TestStaticWorlds:
+    """Zero velocity everywhere: the join degenerates to the static case."""
+
+    def make_static(self, n=100, seed=0):
+        import random
+
+        rng = random.Random(seed)
+        objs_a, objs_b = [], []
+        for i in range(n):
+            x, y = rng.uniform(0, 500), rng.uniform(0, 500)
+            objs_a.append(MovingObject(i, Box(x, x + 8, y, y + 8), 0, 0, 0.0))
+            x, y = rng.uniform(0, 500), rng.uniform(0, 500)
+            objs_b.append(
+                MovingObject(10000 + i, Box(x, x + 8, y, y + 8), 0, 0, 0.0)
+            )
+        return objs_a, objs_b
+
+    def test_static_join_intervals_span_window(self):
+        objs_a, objs_b = self.make_static()
+        for triple in brute_force_join(objs_a, objs_b, 0.0, 60.0):
+            assert triple.interval.start == 0.0
+            assert triple.interval.end == 60.0
+
+    def test_static_unbounded_naive_join(self):
+        objs_a, objs_b = self.make_static()
+        tree_a, tree_b = TPRStarTree(), TPRStarTree()
+        tree_b.storage = tree_a.storage  # share tracker for the assert below
+        tree_b = TPRStarTree(storage=tree_a.storage)
+        for o in objs_a:
+            tree_a.insert(o, 0.0)
+        for o in objs_b:
+            tree_b.insert(o, 0.0)
+        got = {(t.a_oid, t.b_oid) for t in naive_join(tree_a, tree_b, 0.0, INF)}
+        want = brute_force_pairs_at(objs_a, objs_b, 0.0)
+        assert got == want
+        # Static + unbounded: every found interval is [0, inf).
+        for triple in naive_join(tree_a, tree_b, 0.0, INF):
+            assert triple.interval.end == INF
+
+
+class TestStackedObjects:
+    """Many objects at the exact same position: splits must terminate and
+    every pair must be reported."""
+
+    def test_identical_positions(self):
+        objs_a = [
+            MovingObject(i, Box(10, 12, 10, 12), 1.0, -1.0, 0.0) for i in range(80)
+        ]
+        objs_b = [
+            MovingObject(1000 + i, Box(11, 13, 11, 13), 1.0, -1.0, 0.0)
+            for i in range(80)
+        ]
+        storage_tree = TPRStarTree(node_capacity=8)
+        tree_b = TPRStarTree(storage=storage_tree.storage, node_capacity=8)
+        for o in objs_a:
+            storage_tree.insert(o, 0.0)
+        for o in objs_b:
+            tree_b.insert(o, 0.0)
+        storage_tree.validate(0.0)
+        triples = tc_join(storage_tree, tree_b, 0.0, 30.0)
+        assert len(triples) == 80 * 80  # everyone overlaps everyone
+
+    def test_engine_with_stacked_objects(self):
+        objs_a = [MovingObject(i, Box(0, 2, 0, 2), 0.5, 0.5, 0.0) for i in range(30)]
+        objs_b = [
+            MovingObject(100 + i, Box(1, 3, 1, 3), 0.5, 0.5, 0.0) for i in range(30)
+        ]
+        engine = ContinuousJoinEngine.create(
+            objs_a, objs_b, algorithm="mtb", config=JoinConfig(t_m=10.0)
+        )
+        engine.run_initial_join()
+        assert len(engine.result_at(0.0)) == 900
+
+
+class TestSingletons:
+    @pytest.mark.parametrize("algorithm", ["naive", "etp", "tc", "mtb"])
+    def test_one_object_each(self, algorithm):
+        a = MovingObject(1, Box(0, 1, 0, 1), 1.0, 0.0, 0.0)
+        b = MovingObject(2, Box(9, 10, 0, 1), -1.0, 0.0, 0.0)
+        engine = ContinuousJoinEngine.create(
+            [a], [b], algorithm=algorithm, config=JoinConfig(t_m=100.0)
+        )
+        engine.run_initial_join()
+        assert engine.result_at(0.0) == set()
+        engine.tick(4.5)  # they overlap during [4, 5]
+        assert engine.result_at(4.5) == {(1, 2)}
+        engine.tick(6.0)
+        assert engine.result_at(6.0) == set()
+
+    def test_exact_separation_instant_conventions(self):
+        """At the exact instant two objects stop touching, the interval
+        strategies use closed semantics (pair included) while ETP uses
+        the TP 'valid immediately after' convention (pair excluded).
+        Both are defensible; answers differ only on this measure-zero
+        set and agree at every other time."""
+        a = MovingObject(1, Box(0, 1, 0, 1), 1.0, 0.0, 0.0)
+        b = MovingObject(2, Box(9, 10, 0, 1), -1.0, 0.0, 0.0)
+        for algorithm, expected in (("mtb", {(1, 2)}), ("etp", set())):
+            engine = ContinuousJoinEngine.create(
+                [a], [b], algorithm=algorithm, config=JoinConfig(t_m=100.0)
+            )
+            engine.run_initial_join()
+            engine.tick(5.0)  # separation instant
+            assert engine.result_at(5.0) == expected, algorithm
+
+    @pytest.mark.parametrize("algorithm", ["naive", "tc", "mtb", "etp"])
+    def test_empty_b_side(self, algorithm):
+        a = MovingObject(1, Box(0, 1, 0, 1), 1.0, 0.0, 0.0)
+        engine = ContinuousJoinEngine.create(
+            [a], [], algorithm=algorithm, config=JoinConfig(t_m=10.0)
+        )
+        engine.run_initial_join()
+        assert engine.result_at(0.0) == set()
+
+
+class TestPointObjects:
+    """Zero-extent objects (moving points) are legal box degenerations."""
+
+    def test_point_join(self):
+        a = MovingObject(1, Box.point(0, 0), 1.0, 1.0, 0.0)
+        b = MovingObject(2, Box.point(4, 4), 0.0, 0.0, 0.0)
+        [triple] = brute_force_join([a], [b], 0.0, 10.0)
+        assert triple.interval.start == pytest.approx(4.0)
+        assert triple.interval.end == pytest.approx(4.0)
+
+    def test_points_in_tree(self):
+        import random
+
+        rng = random.Random(3)
+        tree_a = TPRStarTree()
+        tree_b = TPRStarTree(storage=tree_a.storage)
+        objs_a, objs_b = [], []
+        for i in range(60):
+            x, y = rng.uniform(0, 50), rng.uniform(0, 50)
+            obj = MovingObject(
+                i, Box.point(x, y), rng.uniform(-2, 2), rng.uniform(-2, 2), 0.0
+            )
+            objs_a.append(obj)
+            tree_a.insert(obj, 0.0)
+            x, y = rng.uniform(0, 50), rng.uniform(0, 50)
+            obj = MovingObject(
+                1000 + i, Box.point(x, y), rng.uniform(-2, 2), rng.uniform(-2, 2), 0.0
+            )
+            objs_b.append(obj)
+            tree_b.insert(obj, 0.0)
+        tree_a.validate(0.0)
+        got = sorted((t.a_oid, t.b_oid) for t in tc_join(tree_a, tree_b, 0.0, 20.0))
+        want = sorted(
+            (t.a_oid, t.b_oid) for t in brute_force_join(objs_a, objs_b, 0.0, 20.0)
+        )
+        assert got == want
+
+
+class TestExtremeParameters:
+    def test_huge_tm(self):
+        a = MovingObject(1, Box(0, 1, 0, 1), 0.001, 0, 0.0)
+        b = MovingObject(2, Box(500, 501, 0, 1), 0, 0, 0.0)
+        engine = ContinuousJoinEngine.create(
+            [a], [b], algorithm="tc", config=JoinConfig(t_m=1e6)
+        )
+        engine.run_initial_join()
+        # Meets at t ≈ 499000, far in the future but within T_M.
+        assert engine.result_at(0.0) == set()
+
+    def test_very_fast_objects(self):
+        q = KineticBox.rigid(Box(0, 1000, 0, 1000), 0, 0, 0.0)
+        tree = TPRStarTree()
+        objs = []
+        import random
+
+        rng = random.Random(8)
+        for i in range(100):
+            x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+            obj = MovingObject(
+                i, Box(x, x + 5, y, y + 5),
+                rng.uniform(-500, 500), rng.uniform(-500, 500), 0.0,
+            )
+            objs.append(obj)
+            tree.insert(obj, 0.0)
+        tree.validate(0.0)
+        hits = {oid for oid, _ in tree.search(q, 0.0, 1.0)}
+        assert hits == {o.oid for o in objs}

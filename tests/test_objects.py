@@ -1,0 +1,65 @@
+"""Tests for the MovingObject model and the top-level package API."""
+
+import pytest
+
+import repro
+from repro.geometry import Box
+from repro.objects import MovingObject
+
+
+class TestMovingObject:
+    def test_basic(self):
+        obj = MovingObject(7, Box(0, 1, 0, 1), 0.5, -0.25, t_ref=10.0)
+        assert obj.oid == 7
+        assert obj.t_ref == 10.0
+        assert obj.velocity == (0.5, -0.25)
+        assert obj.mbr_at(12.0) == Box(1, 2, -0.5, 0.5)
+
+    def test_updated_defaults(self):
+        obj = MovingObject(1, Box(0, 1, 0, 1), 1.0, 0.0, t_ref=0.0)
+        newer = obj.updated(4.0)
+        assert newer.oid == 1
+        assert newer.t_ref == 4.0
+        assert newer.kbox.mbr == Box(4, 5, 0, 1)   # extrapolated position
+        assert newer.velocity == (1.0, 0.0)        # velocity carried over
+
+    def test_updated_overrides(self):
+        obj = MovingObject(1, Box(0, 1, 0, 1), 1.0, 0.0, t_ref=0.0)
+        newer = obj.updated(4.0, mbr=Box(9, 10, 9, 10), vx=-2.0, vy=3.0)
+        assert newer.kbox.mbr == Box(9, 10, 9, 10)
+        assert newer.velocity == (-2.0, 3.0)
+
+    def test_equality_and_hash(self):
+        a = MovingObject(1, Box(0, 1, 0, 1), 1, 0, 0.0)
+        b = MovingObject(1, Box(0, 1, 0, 1), 1, 0, 0.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != a.updated(1.0)
+
+    def test_repr(self):
+        obj = MovingObject(3, Box(0, 1, 0, 1), 1, 2, 0.0)
+        assert "oid=3" in repr(obj)
+
+
+class TestPackageAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_lazy_top_level_exports(self):
+        assert repro.ContinuousJoinEngine is not None
+        assert repro.JoinConfig is not None
+        assert callable(repro.uniform_workload)
+        assert callable(repro.gaussian_workload)
+        assert callable(repro.battlefield_workload)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_docstring_quickstart_runs(self):
+        scenario = repro.uniform_workload(50, seed=7)
+        engine = repro.ContinuousJoinEngine.create(
+            scenario.set_a, scenario.set_b, algorithm="mtb"
+        )
+        engine.run_initial_join()
+        assert isinstance(engine.result_at(engine.now), set)

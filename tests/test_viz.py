@@ -1,0 +1,66 @@
+"""ASCII renderer tests."""
+
+import pytest
+
+from repro.geometry import Box
+from repro.objects import MovingObject
+from repro.viz import render_frame, render_legend
+
+
+def obj(oid, x, y, vx=0.0, vy=0.0):
+    return MovingObject(oid, Box(x, x + 1, y, y + 1), vx, vy, 0.0)
+
+
+class TestRenderFrame:
+    def test_dimensions(self):
+        frame = render_frame([obj(1, 10, 10)], [], 0.0, 100.0, width=30, height=8)
+        lines = frame.splitlines()
+        assert len(lines) == 8
+        assert all(len(line) == 30 for line in lines)
+
+    def test_symbols(self):
+        frame = render_frame(
+            [obj(1, 10, 50)], [obj(2, 90, 50)], 0.0, 100.0, width=10, height=3
+        )
+        assert "a" in frame
+        assert "b" in frame
+
+    def test_shared_cell(self):
+        frame = render_frame(
+            [obj(1, 50, 50)], [obj(2, 50, 50)], 0.0, 100.0, width=5, height=5
+        )
+        assert "#" in frame
+
+    def test_highlighting(self):
+        frame = render_frame(
+            [obj(1, 10, 50)], [obj(2, 90, 50)], 0.0, 100.0,
+            width=20, height=3, pairs={(1, 2)},
+        )
+        assert "A" in frame
+        assert "B" in frame
+        assert "a" not in frame.replace("A", "")
+
+    def test_motion_changes_frame(self):
+        moving = [obj(1, 10, 50, vx=10.0)]
+        f0 = render_frame(moving, [], 0.0, 100.0, width=20, height=3)
+        f5 = render_frame(moving, [], 5.0, 100.0, width=20, height=3)
+        assert f0 != f5
+
+    def test_out_of_domain_clamped(self):
+        frame = render_frame(
+            [obj(1, 500, 500)], [], 0.0, 100.0, width=10, height=4
+        )
+        assert "a" in frame  # clamped to the edge, not lost
+
+    def test_orientation_y_up(self):
+        top = render_frame([obj(1, 50, 95)], [], 0.0, 100.0, width=9, height=3)
+        assert "a" in top.splitlines()[0]
+        bottom = render_frame([obj(1, 50, 2)], [], 0.0, 100.0, width=9, height=3)
+        assert "a" in bottom.splitlines()[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_frame([], [], 0.0, 100.0, width=1, height=5)
+
+    def test_legend(self):
+        assert "dataset A/B" in render_legend()

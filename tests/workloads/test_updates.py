@@ -1,0 +1,91 @@
+"""Tests for the update stream: the T_M contract and domain containment."""
+
+import pytest
+
+from repro.workloads import UpdateStream, battlefield_workload, uniform_workload
+
+
+def drive(scenario, stream, steps):
+    """Apply the stream to a plain dict of current objects."""
+    current = {o.oid: o for o in scenario.set_a + scenario.set_b}
+    last_update = {oid: 0.0 for oid in current}
+    for step in range(1, steps + 1):
+        t = float(step)
+        for obj in stream.updates_for(t, current):
+            assert obj.t_ref == t
+            current[obj.oid] = obj
+            last_update[obj.oid] = t
+    return current, last_update
+
+
+class TestTMContract:
+    def test_every_object_updates_within_tm(self):
+        scenario = uniform_workload(150, seed=8, t_m=12.0)
+        stream = UpdateStream(scenario, seed=3)
+        steps = 40
+        current, last_update = drive(scenario, stream, steps)
+        for oid, last in last_update.items():
+            assert steps - last <= 12.0, oid
+
+    def test_average_interval_near_half_tm(self):
+        """Uniform rescheduling gives ~T_M/2 expected update spacing."""
+        scenario = uniform_workload(200, seed=9, t_m=20.0)
+        stream = UpdateStream(scenario, seed=5)
+        count = 0
+        current = {o.oid: o for o in scenario.set_a + scenario.set_b}
+        steps = 100
+        for step in range(1, steps + 1):
+            batch = stream.updates_for(float(step), current)
+            for obj in batch:
+                current[obj.oid] = obj
+            count += len(batch)
+        mean_interval = (400 * steps) / count
+        assert 7.0 < mean_interval < 14.0  # ≈ 10.5 for uniform [1, 20]
+
+
+class TestDomain:
+    def test_objects_stay_in_domain(self):
+        scenario = uniform_workload(100, seed=2, t_m=10.0, max_speed=5.0)
+        stream = UpdateStream(scenario, seed=2)
+        current = {o.oid: o for o in scenario.set_a + scenario.set_b}
+        for step in range(1, 60):
+            for obj in stream.updates_for(float(step), current):
+                current[obj.oid] = obj
+                mbr = obj.kbox.mbr
+                assert -1e-9 <= mbr.x_lo and mbr.x_hi <= scenario.space_size + 1e-9
+                assert -1e-9 <= mbr.y_lo and mbr.y_hi <= scenario.space_size + 1e-9
+
+    def test_determinism(self):
+        scenario = uniform_workload(50, seed=7, t_m=10.0)
+        s1 = UpdateStream(scenario, seed=11)
+        s2 = UpdateStream(scenario, seed=11)
+        current = {o.oid: o for o in scenario.set_a + scenario.set_b}
+        for step in range(1, 15):
+            b1 = s1.updates_for(float(step), current)
+            b2 = s2.updates_for(float(step), current)
+            assert b1 == b2
+            for obj in b1:
+                current[obj.oid] = obj
+
+
+class TestBattlefieldHoming:
+    def test_sides_keep_converging(self):
+        scenario = battlefield_workload(100, seed=4, t_m=10.0, max_speed=3.0)
+        stream = UpdateStream(scenario, seed=6)
+        current = {o.oid: o for o in scenario.set_a + scenario.set_b}
+        a_ids = {o.oid for o in scenario.set_a}
+        for step in range(1, 20):
+            for obj in stream.updates_for(float(step), current):
+                current[obj.oid] = obj
+                x = obj.kbox.mbr.center[0]
+                vx = obj.velocity[0]
+                if obj.oid in a_ids and x < scenario.space_size * 0.6:
+                    assert vx > 0  # still charging toward the enemy
+                if obj.oid not in a_ids and x > scenario.space_size * 0.4:
+                    assert vx < 0
+
+    def test_due_counts(self):
+        scenario = uniform_workload(30, seed=1, t_m=5.0)
+        stream = UpdateStream(scenario, seed=1)
+        assert stream.due_counts(0.0) == 0
+        assert stream.due_counts(5.0) == 60  # everyone due by T_M
