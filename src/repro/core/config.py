@@ -35,6 +35,10 @@ class JoinConfig:
     buckets_per_tm: int = DEFAULT_BUCKETS_PER_TM
     #: TPR insertion horizon ``H``; ``None`` means ``t_m``.
     horizon: Optional[float] = None
+    #: Route pair tests through the vectorized NumPy kernels
+    #: (:mod:`repro.geometry.kernels`).  Identical results either way;
+    #: off forces the scalar reference path for ablations.
+    use_kernels: bool = True
     #: Extra sanity checking inside the engine (slow; used by tests).
     validate: bool = field(default=False, compare=False)
 

@@ -165,6 +165,27 @@ class ContinuousJoinEngine:
 # ----------------------------------------------------------------------
 # Strategies
 # ----------------------------------------------------------------------
+def _new_tree(engine: ContinuousJoinEngine) -> TPRStarTree:
+    """A TPR*-tree bound to the engine's shared storage and config."""
+    return TPRStarTree(
+        storage=engine.storage,
+        node_capacity=engine.config.node_capacity,
+        horizon=engine.config.effective_horizon,
+        use_kernels=engine.config.use_kernels,
+    )
+
+
+def _new_forest(engine: ContinuousJoinEngine) -> MTBTree:
+    """An MTB forest bound to the engine's shared storage and config."""
+    return MTBTree(
+        t_m=engine.config.t_m,
+        storage=engine.storage,
+        buckets_per_tm=engine.config.buckets_per_tm,
+        node_capacity=engine.config.node_capacity,
+        use_kernels=engine.config.use_kernels,
+    )
+
+
 class _IntervalStrategy:
     """Shared plumbing for strategies that maintain interval results."""
 
@@ -192,16 +213,8 @@ class _NaiveStrategy(_IntervalStrategy):
 
     def build(self, t0: float) -> None:
         engine = self.engine
-        self.tree_a = TPRStarTree(
-            storage=engine.storage,
-            node_capacity=engine.config.node_capacity,
-            horizon=engine.config.effective_horizon,
-        )
-        self.tree_b = TPRStarTree(
-            storage=engine.storage,
-            node_capacity=engine.config.node_capacity,
-            horizon=engine.config.effective_horizon,
-        )
+        self.tree_a = _new_tree(engine)
+        self.tree_b = _new_tree(engine)
         for obj in engine.objects_a.values():
             self.tree_a.insert(obj, t0)
         for obj in engine.objects_b.values():
@@ -234,16 +247,8 @@ class _TCStrategy(_IntervalStrategy):
 
     def build(self, t0: float) -> None:
         engine = self.engine
-        self.tree_a = TPRStarTree(
-            storage=engine.storage,
-            node_capacity=engine.config.node_capacity,
-            horizon=engine.config.effective_horizon,
-        )
-        self.tree_b = TPRStarTree(
-            storage=engine.storage,
-            node_capacity=engine.config.node_capacity,
-            horizon=engine.config.effective_horizon,
-        )
+        self.tree_a = _new_tree(engine)
+        self.tree_b = _new_tree(engine)
         for obj in engine.objects_a.values():
             self.tree_a.insert(obj, t0)
         for obj in engine.objects_b.values():
@@ -276,22 +281,15 @@ class _MTBStrategy(_IntervalStrategy):
         self, engine: ContinuousJoinEngine, techniques: Optional[JoinTechniques]
     ):
         super().__init__(engine)
-        self.techniques = techniques if techniques is not None else JoinTechniques.all()
+        if techniques is None:
+            techniques = JoinTechniques.all()
+            techniques.use_kernels = engine.config.use_kernels
+        self.techniques = techniques
 
     def build(self, t0: float) -> None:
         engine = self.engine
-        self.forest_a = MTBTree(
-            t_m=engine.config.t_m,
-            storage=engine.storage,
-            buckets_per_tm=engine.config.buckets_per_tm,
-            node_capacity=engine.config.node_capacity,
-        )
-        self.forest_b = MTBTree(
-            t_m=engine.config.t_m,
-            storage=engine.storage,
-            buckets_per_tm=engine.config.buckets_per_tm,
-            node_capacity=engine.config.node_capacity,
-        )
+        self.forest_a = _new_forest(engine)
+        self.forest_b = _new_forest(engine)
         for obj in engine.objects_a.values():
             self.forest_a.insert(obj, t0)
         for obj in engine.objects_b.values():
@@ -325,16 +323,8 @@ class _ETPStrategy:
 
     def build(self, t0: float) -> None:
         engine = self.engine
-        self.tree_a = TPRStarTree(
-            storage=engine.storage,
-            node_capacity=engine.config.node_capacity,
-            horizon=engine.config.effective_horizon,
-        )
-        self.tree_b = TPRStarTree(
-            storage=engine.storage,
-            node_capacity=engine.config.node_capacity,
-            horizon=engine.config.effective_horizon,
-        )
+        self.tree_a = _new_tree(engine)
+        self.tree_b = _new_tree(engine)
         for obj in engine.objects_a.values():
             self.tree_a.insert(obj, t0)
         for obj in engine.objects_b.values():

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Set, Tuple
 
 from ..geometry import TimeInterval, merge_intervals
+from ..geometry.interval import _EPS as _MERGE_TOL
 from ..join import JoinTriple
 
 __all__ = ["JoinResultStore"]
@@ -35,13 +36,23 @@ class JoinResultStore:
     # Mutation
     # ------------------------------------------------------------------
     def add(self, triple: JoinTriple) -> None:
-        """Record (or extend) a pair's intersection interval."""
+        """Record (or extend) a pair's intersection interval.
+
+        The stored list is kept sorted and disjoint (the
+        :func:`merge_intervals` invariant), so an interval that starts
+        after the stored tail ends — the common case during maintenance,
+        where each re-join appends a strictly later window — is a plain
+        append; only overlapping or out-of-order arrivals pay for a full
+        re-merge.
+        """
         key = triple.key()
         intervals = self._pairs.get(key)
         if intervals is None:
             self._pairs[key] = [triple.interval]
             self._by_oid.setdefault(triple.a_oid, set()).add(key)
             self._by_oid.setdefault(triple.b_oid, set()).add(key)
+        elif triple.interval.start > intervals[-1].end + _MERGE_TOL:
+            intervals.append(triple.interval)
         else:
             intervals.append(triple.interval)
             self._pairs[key] = merge_intervals(intervals)

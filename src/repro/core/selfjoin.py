@@ -50,6 +50,7 @@ class ContinuousSelfJoinEngine:
             storage=self.storage,
             buckets_per_tm=self.config.buckets_per_tm,
             node_capacity=self.config.node_capacity,
+            use_kernels=self.config.use_kernels,
         )
         for obj in objects:
             if obj.oid in self.objects:

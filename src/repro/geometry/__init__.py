@@ -12,6 +12,17 @@ from .intersection import (
     intersects_during,
 )
 from .kinetic import KineticBox
+from .kernels import (
+    HAVE_NUMPY,
+    KineticBatch,
+    batch_all_pairs_intersection,
+    batch_filter_against,
+    batch_probe_windows,
+    batch_intersection_intervals,
+    batch_ps_intersection,
+    batch_select_sweep_dimension,
+    batch_sweep_bounds,
+)
 from .plane_sweep import (
     all_pairs_intersection,
     ps_intersection,
@@ -33,4 +44,13 @@ __all__ = [
     "all_pairs_intersection",
     "select_sweep_dimension",
     "sweep_bounds",
+    "HAVE_NUMPY",
+    "KineticBatch",
+    "batch_intersection_intervals",
+    "batch_filter_against",
+    "batch_probe_windows",
+    "batch_sweep_bounds",
+    "batch_select_sweep_dimension",
+    "batch_ps_intersection",
+    "batch_all_pairs_intersection",
 ]

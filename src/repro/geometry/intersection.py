@@ -76,27 +76,25 @@ def intersection_interval(
         raise ValueError("t_end must be >= t_start")
     lo, hi = t_start, t_end
     for dim in range(NDIMS):
+        # Each bound re-expressed at reference time 0: lo(t) = slo + v*t.
+        # The (x - v * t_ref) association is shared with the vectorized
+        # kernels (repro.geometry.kernels), which pre-shift their columns
+        # the same way — keeping the two paths bit-identical.
+        a_slo = a.mbr.lo(dim) - a.vbr.lo(dim) * a.t_ref
+        a_shi = a.mbr.hi(dim) - a.vbr.hi(dim) * a.t_ref
+        b_slo = b.mbr.lo(dim) - b.vbr.lo(dim) * b.t_ref
+        b_shi = b.mbr.hi(dim) - b.vbr.hi(dim) * b.t_ref
         # Constraint 1: a.lo(t) - b.hi(t) <= 0.
-        m = a.vbr.lo(dim) - b.vbr.hi(dim)
-        c = (
-            a.mbr.lo(dim)
-            - a.vbr.lo(dim) * a.t_ref
-            - b.mbr.hi(dim)
-            + b.vbr.hi(dim) * b.t_ref
+        window = _le_zero_window(
+            a_slo - b_shi, a.vbr.lo(dim) - b.vbr.hi(dim), lo, hi
         )
-        window = _le_zero_window(c, m, lo, hi)
         if window is None:
             return None
         lo, hi = window
         # Constraint 2: b.lo(t) - a.hi(t) <= 0.
-        m = b.vbr.lo(dim) - a.vbr.hi(dim)
-        c = (
-            b.mbr.lo(dim)
-            - b.vbr.lo(dim) * b.t_ref
-            - a.mbr.hi(dim)
-            + a.vbr.hi(dim) * a.t_ref
+        window = _le_zero_window(
+            b_slo - a_shi, b.vbr.lo(dim) - a.vbr.hi(dim), lo, hi
         )
-        window = _le_zero_window(c, m, lo, hi)
         if window is None:
             return None
         lo, hi = window

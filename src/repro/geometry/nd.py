@@ -141,20 +141,22 @@ def intersection_interval_nd(
         raise ValueError("t_end must be >= t_start")
     lo, hi = t_start, t_end
     for d in range(a.ndims):
-        # a.lo(t) <= b.hi(t).  The constant term uses the exact same
-        # association as the 2-d implementation so that both agree
-        # bit-for-bit (different groupings diverge for subnormal
-        # velocity values).
-        m = a.v_lo[d] - b.v_hi[d]
-        c = a.lo[d] - a.v_lo[d] * a.t_ref - b.hi[d] + b.v_hi[d] * b.t_ref
-        window = _le_zero_window(c, m, lo, hi)
+        # Each bound is re-associated into its pre-shifted form
+        # ``bound - velocity * t_ref`` before the two sides are
+        # subtracted — the exact same grouping as the 2-d implementation
+        # and the batched kernels, so all three agree bit-for-bit
+        # (different groupings diverge for subnormal velocity values).
+        a_slo = a.lo[d] - a.v_lo[d] * a.t_ref
+        a_shi = a.hi[d] - a.v_hi[d] * a.t_ref
+        b_slo = b.lo[d] - b.v_lo[d] * b.t_ref
+        b_shi = b.hi[d] - b.v_hi[d] * b.t_ref
+        # a.lo(t) <= b.hi(t)
+        window = _le_zero_window(a_slo - b_shi, a.v_lo[d] - b.v_hi[d], lo, hi)
         if window is None:
             return None
         lo, hi = window
         # b.lo(t) <= a.hi(t)
-        m = b.v_lo[d] - a.v_hi[d]
-        c = b.lo[d] - b.v_lo[d] * b.t_ref - a.hi[d] + a.v_hi[d] * a.t_ref
-        window = _le_zero_window(c, m, lo, hi)
+        window = _le_zero_window(b_slo - a_shi, b.v_lo[d] - a.v_hi[d], lo, hi)
         if window is None:
             return None
         lo, hi = window

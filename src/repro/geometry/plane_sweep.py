@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Tuple
 
+from . import kernels
 from .box import NDIMS
 from .intersection import intersection_interval
 from .interval import INF, TimeInterval
@@ -61,13 +62,16 @@ def select_sweep_dimension(
     chosen (§IV-D.2): slower movement means tighter sweep bounds and
     fewer candidate pairs to test.
     """
+    totals = [0.0] * NDIMS
+    for boxes in (boxes_a, boxes_b):
+        for kb in boxes:
+            for dim in range(NDIMS):
+                totals[dim] += kb.speed_sum(dim)
     best_dim = 0
     best_sum = math.inf
     for dim in range(NDIMS):
-        total = sum(kb.speed_sum(dim) for kb in boxes_a)
-        total += sum(kb.speed_sum(dim) for kb in boxes_b)
-        if total < best_sum:
-            best_sum = total
+        if totals[dim] < best_sum:
+            best_sum = totals[dim]
             best_dim = dim
     return best_dim
 
@@ -79,6 +83,7 @@ def ps_intersection(
     t1: float,
     dim: Optional[int] = None,
     counter: Optional[List[int]] = None,
+    use_kernels: Optional[bool] = None,
 ) -> List[Tuple[int, int, TimeInterval]]:
     """All intersecting pairs between two sets of moving rectangles.
 
@@ -88,11 +93,30 @@ def ps_intersection(
     ``counter`` is given, ``counter[0]`` is incremented once per exact
     pair test performed — benchmarks use this to report CPU work.
 
+    ``use_kernels`` picks the implementation: ``True`` routes through
+    the vectorized :mod:`repro.geometry.kernels` batch sweep, ``False``
+    forces the scalar reference path, and ``None`` (default) uses the
+    kernels whenever NumPy is available.  Both paths return identical
+    triples (the kernels are bit-exact against the scalar oracle).
+
     The sweep runs both sorted sequences in ``lb`` order; for the item
     with the globally smallest ``lb`` it scans the other sequence while
     sweep ranges overlap, delegating the exact (two-dimensional, timed)
     test to :func:`intersection_interval`.
     """
+    if t1 < t0:
+        raise ValueError("t_end must be >= t_start")
+    if use_kernels is None:
+        use_kernels = kernels.HAVE_NUMPY
+    if use_kernels and kernels.HAVE_NUMPY:
+        return kernels.batch_ps_intersection(
+            kernels.KineticBatch.from_boxes(list(boxes_a)),
+            kernels.KineticBatch.from_boxes(list(boxes_b)),
+            t0,
+            t1,
+            dim=dim,
+            counter=counter,
+        )
     if dim is None:
         dim = select_sweep_dimension(boxes_a, boxes_b)
     seq_a = sorted(
@@ -138,12 +162,26 @@ def all_pairs_intersection(
     t0: float,
     t1: float = INF,
     counter: Optional[List[int]] = None,
+    use_kernels: Optional[bool] = None,
 ) -> List[Tuple[int, int, TimeInterval]]:
     """Nested-loop reference: every pair tested exactly once.
 
     Used where plane sweep cannot run (unbounded window) and as the
-    oracle against which :func:`ps_intersection` is verified.
+    oracle against which :func:`ps_intersection` is verified.  With
+    ``use_kernels`` (default: on when NumPy is available) the full
+    ``M × N`` constraint grid is evaluated as one broadcast kernel call
+    instead of a Python double loop; results are identical either way.
     """
+    if use_kernels is None:
+        use_kernels = kernels.HAVE_NUMPY
+    if use_kernels and kernels.HAVE_NUMPY:
+        return kernels.batch_all_pairs_intersection(
+            kernels.KineticBatch.from_boxes(list(boxes_a)),
+            kernels.KineticBatch.from_boxes(list(boxes_b)),
+            t0,
+            t1,
+            counter=counter,
+        )
     results: List[Tuple[int, int, TimeInterval]] = []
     for i, ka in enumerate(boxes_a):
         for j, kb in enumerate(boxes_b):

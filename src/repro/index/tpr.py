@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
-from ..geometry import INF, KineticBox, TimeInterval, intersection_interval
+from ..geometry import INF, KineticBox, TimeInterval, intersection_interval, kernels
 from ..objects import MovingObject
 from .entry import Entry
 from .node import Node
@@ -50,6 +50,11 @@ class TPRTree:
         natural choice is the maximum update interval ``T_M``.
     min_fill_ratio:
         Underflow threshold as a fraction of capacity.
+    use_kernels:
+        Route :meth:`search` pair tests through the vectorized NumPy
+        kernels (one call per node instead of one per entry).  Results
+        are identical to the scalar path; the flag exists for ablation
+        and as a fallback when NumPy is missing.
     """
 
     #: Subclasses may enable R*-style forced reinsertion.
@@ -61,6 +66,7 @@ class TPRTree:
         node_capacity: int = DEFAULT_NODE_CAPACITY,
         horizon: float = DEFAULT_HORIZON,
         min_fill_ratio: float = 0.4,
+        use_kernels: bool = True,
     ):
         self.storage = storage if storage is not None else TreeStorage()
         max_cap = self.storage.max_node_capacity()
@@ -76,6 +82,7 @@ class TPRTree:
             raise ValueError("horizon must be positive")
         self.node_capacity = node_capacity
         self.horizon = float(horizon)
+        self.use_kernels = bool(use_kernels) and kernels.HAVE_NUMPY
         self.min_fill = max(1, int(node_capacity * min_fill_ratio))
         self.objects = ObjectTable()
         root = self.storage.new_node(level=0)
@@ -117,14 +124,31 @@ class TPRTree:
         """Objects whose MBR intersects a (moving) region during ``[t0, t1]``.
 
         Returns ``(oid, interval)`` pairs with the exact overlap interval
-        clipped to the window.
+        clipped to the window.  With ``use_kernels`` each visited node's
+        entries are tested against the region in a single vectorized
+        call; the answer is identical to the scalar per-entry loop.
         """
         results: List[Tuple[int, TimeInterval]] = []
         stack = [self.root_id]
         tracker = self.storage.tracker
+        use_k = self.use_kernels
         while stack:
             node = self.read_node(stack.pop())
-            for entry in node.entries:
+            entries = node.entries
+            if use_k and len(entries) >= kernels.PROBE_BATCH_MIN:
+                tracker.count_pair_tests(len(entries))
+                lo, hi, ok = kernels.batch_probe_windows(
+                    kernels.KineticBatch.from_entries(entries), region, t0, t1
+                )
+                for idx in kernels.np.nonzero(ok)[0].tolist():
+                    if node.is_leaf:
+                        results.append(
+                            (entries[idx].ref, TimeInterval(lo[idx], hi[idx]))
+                        )
+                    else:
+                        stack.append(entries[idx].ref)
+                continue
+            for entry in entries:
                 tracker.count_pair_tests()
                 interval = intersection_interval(entry.kbox, region, t0, t1)
                 if interval is None:

@@ -18,6 +18,14 @@ three techniques that *time-constrained processing enables* (§IV-D):
 
 Each technique can be toggled independently — the Figure 8 ablation
 runs None / IC / PS / DS+PS / IC+PS / ALL.
+
+Orthogonally to the paper's techniques, ``use_kernels`` routes the
+per-entry work (IC filtering, sweep bounds, exact pair tests) through
+the vectorized :mod:`repro.geometry.kernels` layer: a node's entries
+are packed once per run into a :class:`~repro.geometry.KineticBatch`
+and every candidate set is tested in one NumPy call.  The kernels are
+bit-exact against the scalar path, so toggling the flag changes cost,
+never results.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from ..geometry import (
     INF,
     all_pairs_intersection,
     intersection_interval,
+    kernels,
     ps_intersection,
     select_sweep_dimension,
 )
@@ -43,18 +52,29 @@ __all__ = ["improved_join", "JoinTechniques"]
 class JoinTechniques:
     """Which of the §IV-D techniques a run applies.
 
+    ``use_kernels`` additionally selects the vectorized NumPy pair-test
+    path (on by default; results are identical either way, so it is an
+    implementation ablation rather than a paper technique).
+
     >>> JoinTechniques.all()
-    JoinTechniques(ps=True, ds=True, ic=True)
+    JoinTechniques(ps=True, ds=True, ic=True, kernels=True)
     >>> JoinTechniques.none()
-    JoinTechniques(ps=False, ds=False, ic=False)
+    JoinTechniques(ps=False, ds=False, ic=False, kernels=True)
     """
 
-    __slots__ = ("use_ps", "use_ds", "use_ic")
+    __slots__ = ("use_ps", "use_ds", "use_ic", "use_kernels")
 
-    def __init__(self, use_ps: bool = True, use_ds: bool = True, use_ic: bool = True):
+    def __init__(
+        self,
+        use_ps: bool = True,
+        use_ds: bool = True,
+        use_ic: bool = True,
+        use_kernels: bool = True,
+    ):
         self.use_ps = use_ps
         self.use_ds = use_ds
         self.use_ic = use_ic
+        self.use_kernels = use_kernels
 
     @classmethod
     def all(cls) -> "JoinTechniques":
@@ -66,8 +86,45 @@ class JoinTechniques:
 
     def __repr__(self) -> str:
         return (
-            f"JoinTechniques(ps={self.use_ps}, ds={self.use_ds}, ic={self.use_ic})"
+            f"JoinTechniques(ps={self.use_ps}, ds={self.use_ds}, "
+            f"ic={self.use_ic}, kernels={self.use_kernels})"
         )
+
+
+class _JoinContext:
+    """Per-run caches shared across the recursion.
+
+    A node joins against many partner nodes; its kinetic bound and its
+    SoA batch are each computed once, keyed by (side, page id) — the two
+    trees may live on separate storages whose page ids collide.  Bounds
+    are referenced at the run's start time, which stays a valid
+    (conservative) bound inside every descendant window, since windows
+    only move forward in time.
+    """
+
+    __slots__ = ("t_run", "use_kernels", "_bounds", "_batches")
+
+    def __init__(self, t_run: float, use_kernels: bool):
+        self.t_run = t_run
+        self.use_kernels = use_kernels and kernels.HAVE_NUMPY
+        self._bounds: dict = {}
+        self._batches: dict = {}
+
+    def bound(self, node: Node, side: str):
+        key = (side, node.page_id)
+        bound = self._bounds.get(key)
+        if bound is None:
+            bound = node.bound_at(self.t_run)
+            self._bounds[key] = bound
+        return bound
+
+    def batch(self, node: Node, side: str):
+        key = (side, node.page_id)
+        batch = self._batches.get(key)
+        if batch is None:
+            batch = kernels.KineticBatch.from_entries(node.entries)
+            self._batches[key] = batch
+        return batch
 
 
 def improved_join(
@@ -99,27 +156,12 @@ def improved_join(
     root_b = tree_b.root_node()
     if not root_a.entries or not root_b.entries:
         return results
-    # Per-run node-bound cache, keyed by page id.  A node joins against
-    # many partner nodes; its bound is computed once, referenced at the
-    # run's start time — which stays a valid (conservative) bound inside
-    # every descendant window, since windows only move forward in time.
-    bounds: dict = {}
+    ctx = _JoinContext(t_start, techniques.use_kernels)
     _join_nodes(
         tree_a, tree_b, root_a, root_b, t_start, t_end,
-        techniques, tracker, results, bounds, t_start,
+        techniques, tracker, results, ctx,
     )
     return results
-
-
-def _cached_bound(node: Node, side: str, bounds: dict, t_ref: float):
-    # Keyed by (side, page id): the two trees may live on separate
-    # storages whose page ids collide.
-    key = (side, node.page_id)
-    bound = bounds.get(key)
-    if bound is None:
-        bound = node.bound_at(t_ref)
-        bounds[key] = bound
-    return bound
 
 
 def _join_nodes(
@@ -132,26 +174,38 @@ def _join_nodes(
     tech: JoinTechniques,
     tracker: CostTracker,
     out: List[JoinTriple],
-    bounds: dict,
-    t_run: float,
+    ctx: _JoinContext,
 ) -> None:
     entries_a = node_a.entries
     entries_b = node_b.entries
     if not entries_a or not entries_b:
         return
+    use_k = ctx.use_kernels
+    batch_a = ctx.batch(node_a, "a") if use_k else None
+    batch_b = ctx.batch(node_b, "b") if use_k else None
 
     if tech.use_ic:
-        bound_a = _cached_bound(node_a, "a", bounds, t_run)
-        bound_b = _cached_bound(node_b, "b", bounds, t_run)
+        bound_a = ctx.bound(node_a, "a")
+        bound_b = ctx.bound(node_b, "b")
         tracker.count_pair_tests()
         window = intersection_interval(bound_a, bound_b, t0, t1)
         if window is None:
             return
         t0, t1 = window.start, window.end
-        entries_a = _filter_against(entries_a, bound_b, t0, t1, tracker)
-        if not entries_a:
-            return
-        entries_b = _filter_against(entries_b, bound_a, t0, t1, tracker)
+        if use_k:
+            entries_a, batch_a = _filter_batch(
+                entries_a, batch_a, bound_b, t0, t1, tracker
+            )
+            if not entries_a:
+                return
+            entries_b, batch_b = _filter_batch(
+                entries_b, batch_b, bound_a, t0, t1, tracker
+            )
+        else:
+            entries_a = _filter_against(entries_a, bound_b, t0, t1, tracker)
+            if not entries_a:
+                return
+            entries_b = _filter_against(entries_b, bound_a, t0, t1, tracker)
         if not entries_b:
             return
 
@@ -159,18 +213,38 @@ def _join_nodes(
     if node_a.is_leaf != node_b.is_leaf:
         _descend_single_side(
             tree_a, tree_b, node_a, node_b, entries_a, entries_b,
-            t0, t1, tech, tracker, out, bounds, t_run,
+            batch_a, batch_b, t0, t1, tech, tracker, out, ctx,
         )
         return
 
-    boxes_a = [e.kbox for e in entries_a]
-    boxes_b = [e.kbox for e in entries_b]
     counter = [0]
-    if tech.use_ps:
-        dim = select_sweep_dimension(boxes_a, boxes_b) if tech.use_ds else 0
-        pairs = ps_intersection(boxes_a, boxes_b, t0, t1, dim=dim, counter=counter)
+    if use_k:
+        if tech.use_ps:
+            dim = (
+                kernels.batch_select_sweep_dimension(batch_a, batch_b)
+                if tech.use_ds
+                else 0
+            )
+            pairs = kernels.batch_ps_intersection(
+                batch_a, batch_b, t0, t1, dim=dim, counter=counter
+            )
+        else:
+            pairs = kernels.batch_all_pairs_intersection(
+                batch_a, batch_b, t0, t1, counter=counter
+            )
     else:
-        pairs = all_pairs_intersection(boxes_a, boxes_b, t0, t1, counter=counter)
+        boxes_a = [e.kbox for e in entries_a]
+        boxes_b = [e.kbox for e in entries_b]
+        if tech.use_ps:
+            dim = select_sweep_dimension(boxes_a, boxes_b) if tech.use_ds else 0
+            pairs = ps_intersection(
+                boxes_a, boxes_b, t0, t1, dim=dim, counter=counter,
+                use_kernels=False,
+            )
+        else:
+            pairs = all_pairs_intersection(
+                boxes_a, boxes_b, t0, t1, counter=counter, use_kernels=False
+            )
     tracker.count_pair_tests(counter[0])
 
     if node_a.is_leaf:
@@ -191,7 +265,7 @@ def _join_nodes(
             child_t0, child_t1 = t0, t1
         _join_nodes(
             tree_a, tree_b, child_a, child_b,
-            child_t0, child_t1, tech, tracker, out, bounds, t_run,
+            child_t0, child_t1, tech, tracker, out, ctx,
         )
 
 
@@ -211,6 +285,25 @@ def _filter_against(
     return kept
 
 
+def _filter_batch(
+    entries: List[Entry],
+    batch,
+    other_bound,
+    t0: float,
+    t1: float,
+    tracker: CostTracker,
+):
+    """IC entry filter over a whole node in one kernel call."""
+    tracker.count_pair_tests(len(entries))
+    mask = kernels.batch_filter_against(batch, other_bound, t0, t1)
+    if mask.all():
+        return entries, batch
+    kept = [e for e, keep in zip(entries, mask.tolist()) if keep]
+    if not kept:
+        return kept, None
+    return kept, batch.compress(mask)
+
+
 def _descend_single_side(
     tree_a: TPRTree,
     tree_b: TPRTree,
@@ -218,35 +311,64 @@ def _descend_single_side(
     node_b: Node,
     entries_a: List[Entry],
     entries_b: List[Entry],
+    batch_a,
+    batch_b,
     t0: float,
     t1: float,
     tech: JoinTechniques,
     tracker: CostTracker,
     out: List[JoinTriple],
-    bounds: dict,
-    t_run: float,
+    ctx: _JoinContext,
 ) -> None:
     if node_a.is_leaf:
-        bound_a = _cached_bound(node_a, "a", bounds, t_run)
-        for eb in entries_b:
-            tracker.count_pair_tests()
-            window = intersection_interval(bound_a, eb.kbox, t0, t1)
-            if window is not None:
-                child_b = tree_b.read_node(eb.ref)
-                _join_nodes(
-                    tree_a, tree_b, node_a, child_b,
-                    window.start, window.end, tech, tracker, out,
-                    bounds, t_run,
-                )
-        return
-    bound_b = _cached_bound(node_b, "b", bounds, t_run)
-    for ea in entries_a:
-        tracker.count_pair_tests()
-        window = intersection_interval(ea.kbox, bound_b, t0, t1)
-        if window is not None:
-            child_a = tree_a.read_node(ea.ref)
+        bound_a = ctx.bound(node_a, "a")
+        for eb, window in _entry_windows(
+            bound_a, entries_b, batch_b, t0, t1, tracker, bound_is_a=True
+        ):
+            child_b = tree_b.read_node(eb.ref)
             _join_nodes(
-                tree_a, tree_b, child_a, node_b,
-                window.start, window.end, tech, tracker, out,
-                bounds, t_run,
+                tree_a, tree_b, node_a, child_b,
+                window[0], window[1], tech, tracker, out, ctx,
             )
+        return
+    bound_b = ctx.bound(node_b, "b")
+    for ea, window in _entry_windows(
+        bound_b, entries_a, batch_a, t0, t1, tracker, bound_is_a=False
+    ):
+        child_a = tree_a.read_node(ea.ref)
+        _join_nodes(
+            tree_a, tree_b, child_a, node_b,
+            window[0], window[1], tech, tracker, out, ctx,
+        )
+
+
+def _entry_windows(
+    bound,
+    entries: List[Entry],
+    batch,
+    t0: float,
+    t1: float,
+    tracker: CostTracker,
+    bound_is_a: bool,
+):
+    """``(entry, (t_s, t_e))`` for entries intersecting a node bound.
+
+    ``bound_is_a`` keeps the A-before-B argument orientation of the
+    scalar calls; the probe kernel's windows are orientation-independent
+    (see :func:`~repro.geometry.kernels.batch_probe_windows`), so one
+    kernel serves both directions bit-exactly.
+    """
+    if batch is not None:
+        tracker.count_pair_tests(len(entries))
+        lo, hi, ok = kernels.batch_probe_windows(batch, bound, t0, t1)
+        for idx in kernels.np.nonzero(ok)[0].tolist():
+            yield entries[idx], (float(lo[idx]), float(hi[idx]))
+        return
+    for entry in entries:
+        tracker.count_pair_tests()
+        if bound_is_a:
+            window = intersection_interval(bound, entry.kbox, t0, t1)
+        else:
+            window = intersection_interval(entry.kbox, bound, t0, t1)
+        if window is not None:
+            yield entry, (window.start, window.end)

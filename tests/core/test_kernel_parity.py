@@ -1,0 +1,56 @@
+"""Engine-level ablation: ``use_kernels`` never changes the answer.
+
+The vectorized kernels are a pure performance substitution — every
+algorithm must report the *identical* continuous-join answer with the
+flag on or off, at every timestamp of a churning workload.  This is the
+acceptance criterion of the kernels PR, stated as a test: run the same
+scenario twice per algorithm, once per flag value, and require
+snapshot-identical ``result_at`` throughout.
+"""
+
+import pytest
+
+from repro.core import ALGORITHMS, ContinuousJoinEngine, JoinConfig
+from repro.workloads import UpdateStream, make_workload
+
+
+def run_snapshots(algorithm, use_kernels, n=70, t_m=8.0, steps=14, seed=19):
+    scenario = make_workload(
+        n, "uniform", max_speed=3.0, object_size_pct=1.2, t_m=t_m, seed=seed
+    )
+    config = JoinConfig(t_m=t_m, use_kernels=use_kernels)
+    engine = ContinuousJoinEngine.create(
+        scenario.set_a, scenario.set_b, algorithm=algorithm, config=config
+    )
+    engine.run_initial_join()
+    stream = UpdateStream(scenario, seed=seed + 5)
+    snapshots = []
+    for step in range(1, steps + 1):
+        t = float(step)
+        engine.tick(t)
+        current = {**engine.objects_a, **engine.objects_b}
+        for obj in stream.updates_for(t, current):
+            engine.apply_update(obj)
+        snapshots.append((t, engine.result_at(t)))
+    return snapshots
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_result_identical_with_and_without_kernels(algorithm):
+    with_kernels = run_snapshots(algorithm, use_kernels=True)
+    without = run_snapshots(algorithm, use_kernels=False)
+    for (t, answer_on), (_, answer_off) in zip(with_kernels, without):
+        assert answer_on == answer_off, (algorithm, t)
+
+
+def test_flag_reaches_the_trees():
+    scenario = make_workload(10, "uniform", t_m=10.0, seed=3)
+    for flag in (True, False):
+        engine = ContinuousJoinEngine.create(
+            scenario.set_a,
+            scenario.set_b,
+            algorithm="etp",
+            config=JoinConfig(t_m=10.0, use_kernels=flag),
+        )
+        assert engine._strategy.tree_a.use_kernels == flag
+        assert engine._strategy.tree_b.use_kernels == flag
