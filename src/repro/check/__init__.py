@@ -1,0 +1,42 @@
+"""Machine-checked correctness rules: runtime sanitizer + domain lint.
+
+Two layers guard the invariants the paper's correctness rests on
+(Theorems 1–2, TPR-tree bounding, MTB bucketing):
+
+* :mod:`repro.check.sanitize` — walks *live* structures (trees,
+  forests, result stores) and reports ``SCxxx`` findings; wired into
+  the engines via ``JoinConfig(sanitize=True)`` and into
+  ``python -m repro.check sanitize`` for persisted indexes.
+* :mod:`repro.check.lint` — AST lint (``RC001``–``RC006``) over source
+  files, run as ``python -m repro.check lint src/`` and as a blocking
+  CI job.
+
+See :mod:`repro.check.errors` for the full error-code registry.
+"""
+
+from .errors import LINT_CODES, SANITIZER_CODES, Finding, InvariantViolation
+from .lint import lint_file, lint_paths, lint_source
+from .sanitize import (
+    check_index,
+    check_mtb_forest,
+    check_result_store,
+    check_tpr_tree,
+    raise_on_findings,
+    sanitize_engine,
+)
+
+__all__ = [
+    "Finding",
+    "InvariantViolation",
+    "LINT_CODES",
+    "SANITIZER_CODES",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "check_tpr_tree",
+    "check_mtb_forest",
+    "check_result_store",
+    "check_index",
+    "sanitize_engine",
+    "raise_on_findings",
+]

@@ -1,0 +1,95 @@
+"""``python -m repro.check`` — lint and sanitize from the command line.
+
+Subcommands
+-----------
+
+``lint PATH...``
+    Run the RC001–RC006 domain lint over files or directory trees.
+    Prints one line per finding; exits 1 when anything is found.
+``sanitize PATH...``
+    Audit persisted indexes: a ``.db`` file saved with
+    :func:`repro.index.save_tree`, or a directory holding a forest
+    saved with :func:`repro.index.save_forest`.  Prints SC-code
+    findings; exits 1 when any invariant is violated.
+
+Examples::
+
+    python -m repro.check lint src/
+    python -m repro.check sanitize /tmp/tree.db --at 12.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .errors import Finding
+from .lint import lint_paths
+from .sanitize import check_index
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.check`` argument parser (exposed for tests/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.check",
+        description="Invariant sanitizer and domain lint for the "
+        "TC-join reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_lint = sub.add_parser("lint", help="static domain lint (RC001-RC006)")
+    p_lint.add_argument("paths", nargs="+", metavar="PATH",
+                        help="files or directories to lint")
+
+    p_san = sub.add_parser("sanitize",
+                           help="audit a persisted tree/forest (SC codes)")
+    p_san.add_argument("paths", nargs="+", metavar="PATH",
+                       help="saved tree file or saved-forest directory")
+    p_san.add_argument("--at", type=float, default=None,
+                       help="timestamp to check at (default: the index's "
+                            "latest object update time)")
+    return parser
+
+
+def _load_index(path: str):
+    from ..index import load_forest, load_tree
+
+    if os.path.isdir(path):
+        return load_forest(path)
+    return load_tree(path)
+
+
+def _audit(path: str, at: Optional[float]) -> List[Finding]:
+    index = _load_index(path)
+    if at is None:
+        luts = [obj.t_ref for obj in index.all_objects()]
+        at = max(luts) if luts else 0.0
+    return check_index(index, at, label=os.path.basename(path.rstrip("/")) or path)
+
+
+def _report(findings: Sequence[Finding], out, what: str) -> int:
+    for finding in findings:
+        out.write(f"{finding}\n")
+    if findings:
+        out.write(f"{len(findings)} {what} finding(s)\n")
+        return 1
+    out.write(f"clean: no {what} findings\n")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    if out is None:
+        out = sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        return _report(lint_paths(Path(p) for p in args.paths), out, "lint")
+    findings: List[Finding] = []
+    for path in args.paths:
+        findings.extend(_audit(path, args.at))
+    return _report(findings, out, "sanitizer")

@@ -1,0 +1,84 @@
+"""Finding and error types shared by the sanitizer and the linter.
+
+Both layers of :mod:`repro.check` report problems as :class:`Finding`
+records — a stable machine-readable code, a human message, and a
+location.  The runtime sanitizer raises them bundled in an
+:class:`InvariantViolation`; the linter prints them and sets the exit
+code.
+
+Error-code registry
+-------------------
+Sanitizer codes (``SCxxx``, checked at runtime against live structures):
+
+========  ============================================================
+``SC101``  TPR-tree level/height bookkeeping inconsistent
+``SC102``  TPR-tree node occupancy outside ``[min_fill, capacity]``
+``SC103``  parent entry bound fails to contain its child subtree
+``SC104``  leaf entries and object table out of sync
+``SC201``  object filed in an MTB bucket not matching its update time
+``SC202``  MTB forest bookkeeping (tags/sizes/empty buckets) corrupt
+``SC203``  MTB bucket newer than the current timestamp (lut monotone)
+``SC301``  result-store interval list not sorted
+``SC302``  result-store intervals not pairwise disjoint
+``SC303``  stored interval exceeds the Theorem-1/2 TC bound
+``SC304``  result-store pair/oid inverted index inconsistent
+========  ============================================================
+
+Lint codes (``RCxxx``, checked statically over source files):
+
+========  ============================================================
+``RC001``  raw float ``==``/``!=`` on time/coordinate values
+``RC002``  wall-clock call or import inside core/join/index
+``RC003``  mutable default argument
+``RC004``  bare ``except:``
+``RC005``  public ``geometry/`` function missing type annotations
+``RC006``  pair-test tolerance not sourced from ``geometry.constants``
+========  ============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["Finding", "InvariantViolation", "SANITIZER_CODES", "LINT_CODES"]
+
+SANITIZER_CODES = (
+    "SC101", "SC102", "SC103", "SC104",
+    "SC201", "SC202", "SC203",
+    "SC301", "SC302", "SC303", "SC304",
+)
+
+LINT_CODES = ("RC001", "RC002", "RC003", "RC004", "RC005", "RC006")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected violation: code, human message, and location.
+
+    ``location`` is ``path:line`` for lint findings and a structure
+    path (e.g. ``tree_a/node 7``) for sanitizer findings.
+    """
+
+    code: str
+    message: str
+    location: str = ""
+
+    def __str__(self) -> str:
+        where = f"{self.location}: " if self.location else ""
+        return f"{where}{self.code} {self.message}"
+
+
+class InvariantViolation(AssertionError):
+    """Raised by the runtime sanitizer when any invariant check fails.
+
+    Subclasses :class:`AssertionError` so existing ``validate()``
+    call sites (and ``pytest.raises(AssertionError)``) keep working.
+    """
+
+    def __init__(self, findings: Sequence[Finding]):
+        self.findings: List[Finding] = list(findings)
+        lines = "\n".join(f"  {f}" for f in self.findings)
+        super().__init__(
+            f"{len(self.findings)} invariant violation(s):\n{lines}"
+        )

@@ -1,0 +1,388 @@
+"""Static domain lint for the TC-join codebase (``RC001``–``RC006``).
+
+An AST-based pass over source files that machine-checks the project's
+coding rules — the ones whose violation produces silently wrong join
+results rather than crashes:
+
+``RC001``
+    Raw float ``==``/``!=`` on time or coordinate values.  Timestamps
+    and box bounds are derived floats; exact equality on them is almost
+    always a rounding bug.  The interval algebra
+    (``geometry/interval.py``) is the sanctioned home of exact endpoint
+    comparison and is exempt, as are ``__eq__``/``__ne__``/``__hash__``
+    implementations and comparisons against the exact sentinels ``0.0``
+    and ``±INF``.
+``RC002``
+    Wall-clock access (``time.time``, ``time.monotonic``,
+    ``datetime.now``, …) inside ``core/``, ``join/`` or ``index/``.
+    Those layers run on *simulation* time; real-clock reads belong in
+    :mod:`repro.metrics` only.
+``RC003``
+    Mutable default argument (``def f(x=[])``).
+``RC004``
+    Bare ``except:``.
+``RC005``
+    Public module-level function or public method in ``geometry/``
+    missing parameter or return annotations — the geometry substrate is
+    the package's typed contract surface.
+``RC006``
+    Scalar/kernel drift guard: ``geometry/intersection.py`` and
+    ``geometry/kernels.py`` must source their tolerances from
+    :mod:`repro.geometry.constants` and may not re-inline the literal
+    values; the bit-exactness contract between the two paths (DESIGN.md
+    §5.1) depends on a single shared definition.
+
+Deliberate violations may be suppressed per line with
+``# noqa: RC00x`` (comma-separated codes), which should carry a
+justification comment.
+
+Run as ``python -m repro.check lint src/``; exits non-zero on any
+finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set
+
+from .errors import Finding
+
+__all__ = ["lint_file", "lint_paths", "lint_source"]
+
+#: Terminal identifiers treated as time/coordinate values by RC001.
+TIME_COORD_NAMES = frozenset({
+    "t", "t0", "t1", "t_ref", "tref", "t_now", "t_start", "t_end",
+    "t_u", "t_eval", "t_mid", "t_eb", "start", "end", "lo", "hi",
+    "x_lo", "x_hi", "y_lo", "y_hi", "lut", "expiry", "min_inf", "time",
+})
+
+#: Call targets counted as wall-clock reads by RC002.
+WALL_CLOCK_ATTRS = frozenset({
+    ("time", "time"), ("time", "monotonic"), ("time", "perf_counter"),
+    ("time", "process_time"), ("time", "clock"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+})
+
+#: Directories whose code runs on simulation time only (RC002).
+SIM_TIME_DIRS = ("core", "join", "index")
+
+_NOQA_RE = re.compile(r"#\s*noqa:\s*([A-Z0-9, ]+)")
+
+
+def _noqa_codes(line: str) -> Set[str]:
+    match = _NOQA_RE.search(line)
+    if not match:
+        return set()
+    return {code.strip() for code in match.group(1).split(",") if code.strip()}
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    """The identifier a Name/Attribute operand ultimately denotes."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_exact_sentinel(node: ast.expr) -> bool:
+    """Whether comparing against ``node`` is exact: ``0``/``0.0``/±INF."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _is_exact_sentinel(node.operand)
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return node.value == 0
+    name = _terminal_name(node)
+    return name is not None and name.lower() in ("inf", "infinity")
+
+
+def _tolerance_values() -> Set[float]:
+    """Float constants exported by :mod:`repro.geometry.constants`."""
+    from ..geometry import constants
+
+    return {
+        value
+        for name, value in vars(constants).items()
+        if not name.startswith("_") and isinstance(value, float)
+    }
+
+
+class _Linter(ast.NodeVisitor):
+    """Single-file visitor collecting RC001–RC005 findings."""
+
+    def __init__(self, rel_parts: Sequence[str], display_path: str):
+        self.rel_parts = tuple(rel_parts)
+        self.display_path = display_path
+        self.findings: List[Finding] = []
+        self._func_stack: List[str] = []
+        self.in_sim_dir = any(part in SIM_TIME_DIRS for part in self.rel_parts[:-1])
+        self.in_interval_module = self.rel_parts[-2:] == ("geometry", "interval.py")
+        self.in_geometry = "geometry" in self.rel_parts[:-1]
+        self._class_depth = 0
+
+    # -- plumbing ------------------------------------------------------
+    def _add(self, code: str, message: str, node: ast.AST) -> None:
+        line = getattr(node, "lineno", 0)
+        self.findings.append(
+            Finding(code, message, f"{self.display_path}:{line}")
+        )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._handle_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._handle_function(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_depth += 1
+        public_class = not node.name.startswith("_")
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._handle_function(child, method_of_public_class=public_class)
+            else:
+                self.visit(child)
+        self._class_depth -= 1
+
+    def _handle_function(
+        self,
+        node,
+        method_of_public_class: bool = False,
+    ) -> None:
+        self._check_mutable_defaults(node)
+        if self.in_geometry:
+            self._check_annotations(node, method_of_public_class)
+        self._func_stack.append(node.name)
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+        self._func_stack.pop()
+
+    # -- RC001 ---------------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        self.generic_visit(node)
+        if self.in_interval_module:
+            return
+        if self._func_stack and self._func_stack[-1] in (
+            "__eq__", "__ne__", "__hash__"
+        ):
+            return
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_exact_sentinel(left) or _is_exact_sentinel(right):
+                continue
+            for side in (left, right):
+                name = _terminal_name(side)
+                if name in TIME_COORD_NAMES:
+                    self._add(
+                        "RC001",
+                        f"raw float equality on time/coordinate value "
+                        f"{name!r}; compare with a tolerance or restrict "
+                        f"to geometry/interval.py",
+                        node,
+                    )
+                    break
+
+    # -- RC002 ---------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        if self.in_sim_dir:
+            for alias in node.names:
+                if alias.name.split(".")[0] in ("time", "datetime"):
+                    self._add(
+                        "RC002",
+                        f"import of {alias.name!r} in a simulation-time "
+                        f"layer; route timing through repro.metrics",
+                        node,
+                    )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.in_sim_dir and node.level == 0 and node.module:
+            if node.module.split(".")[0] in ("time", "datetime"):
+                self._add(
+                    "RC002",
+                    f"import from {node.module!r} in a simulation-time "
+                    f"layer; route timing through repro.metrics",
+                    node,
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.in_sim_dir and isinstance(node.func, ast.Attribute):
+            owner = _terminal_name(node.func.value)
+            if (owner, node.func.attr) in WALL_CLOCK_ATTRS:
+                self._add(
+                    "RC002",
+                    f"wall-clock call {owner}.{node.func.attr}() in a "
+                    f"simulation-time layer",
+                    node,
+                )
+        self.generic_visit(node)
+
+    # -- RC003 ---------------------------------------------------------
+    def _check_mutable_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set", "bytearray")
+            )
+            if mutable:
+                self._add(
+                    "RC003",
+                    f"mutable default argument in {node.name}(); "
+                    f"use None and create inside",
+                    default,
+                )
+
+    # -- RC004 ---------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._add("RC004", "bare except: catches SystemExit/KeyboardInterrupt", node)
+        self.generic_visit(node)
+
+    # -- RC005 ---------------------------------------------------------
+    def _check_annotations(self, node, method_of_public_class: bool) -> None:
+        if node.name.startswith("_"):
+            return
+        is_module_level = not self._func_stack and self._class_depth == 0
+        if not (is_module_level or method_of_public_class):
+            return
+        # Properties and other descriptor-decorated methods keep their
+        # contract on the getter's return type; skip decorated defs
+        # except the classmethod/staticmethod builders.
+        decorators = {
+            _terminal_name(d) if not isinstance(d, ast.Call) else _terminal_name(d.func)
+            for d in node.decorator_list
+        }
+        if decorators - {"classmethod", "staticmethod"}:
+            return
+        args = [
+            a
+            for a in (*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs)
+            if a.arg not in ("self", "cls")
+        ]
+        missing = [a.arg for a in args if a.annotation is None]
+        if node.args.vararg is not None and node.args.vararg.annotation is None:
+            missing.append("*" + node.args.vararg.arg)
+        if node.args.kwarg is not None and node.args.kwarg.annotation is None:
+            missing.append("**" + node.args.kwarg.arg)
+        if missing:
+            self._add(
+                "RC005",
+                f"public geometry function {node.name}() missing parameter "
+                f"annotations: {', '.join(missing)}",
+                node,
+            )
+        if node.returns is None and node.name != "__init__":
+            self._add(
+                "RC005",
+                f"public geometry function {node.name}() missing return annotation",
+                node,
+            )
+
+
+# ----------------------------------------------------------------------
+# RC006 — tolerance drift guard
+# ----------------------------------------------------------------------
+_DRIFT_GUARDED = (("geometry", "intersection.py"), ("geometry", "kernels.py"))
+
+
+def _check_drift_guard(
+    tree: ast.Module, rel_parts: Sequence[str], display_path: str
+) -> List[Finding]:
+    tail = tuple(rel_parts[-2:])
+    if tail not in _DRIFT_GUARDED:
+        return []
+    findings: List[Finding] = []
+    imports_constants = any(
+        isinstance(node, ast.ImportFrom)
+        and (node.module or "").split(".")[-1] == "constants"
+        for node in ast.walk(tree)
+    )
+    if not imports_constants:
+        findings.append(Finding(
+            "RC006",
+            "pair-test path must import its tolerances from "
+            "repro.geometry.constants (shared pre-shifted-constant contract)",
+            f"{display_path}:1",
+        ))
+    shared = _tolerance_values()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            and node.value in shared
+        ):
+            findings.append(Finding(
+                "RC006",
+                f"inline tolerance literal {node.value!r}; reference "
+                f"repro.geometry.constants instead",
+                f"{display_path}:{node.lineno}",
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def lint_source(
+    source: str, rel_parts: Sequence[str], display_path: str
+) -> List[Finding]:
+    """Lint one file's source text.
+
+    ``rel_parts`` is the path relative to the lint root, split into
+    parts — it decides which directory-scoped rules apply.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding("RC000", f"syntax error: {exc.msg}",
+                        f"{display_path}:{exc.lineno or 0}")]
+    linter = _Linter(rel_parts, display_path)
+    linter.visit(tree)
+    findings = linter.findings + _check_drift_guard(tree, rel_parts, display_path)
+    lines = source.splitlines()
+    kept: List[Finding] = []
+    for finding in findings:
+        lineno = int(finding.location.rsplit(":", 1)[-1] or 0)
+        line = lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+        if finding.code not in _noqa_codes(line):
+            kept.append(finding)
+    kept.sort(key=lambda f: (f.location.rsplit(":", 1)[0],
+                             int(f.location.rsplit(":", 1)[-1] or 0), f.code))
+    return kept
+
+
+def lint_file(path: Path, root: Optional[Path] = None) -> List[Finding]:
+    """Lint one ``.py`` file; ``root`` anchors directory-scoped rules."""
+    path = Path(path)
+    base = root if root is not None else path.parent
+    try:
+        rel_parts = path.relative_to(base).parts
+    except ValueError:
+        rel_parts = path.parts[-2:]
+    return lint_source(path.read_text(), rel_parts, str(path))
+
+
+def lint_paths(paths: Iterable[Path]) -> List[Finding]:
+    """Lint files and directory trees; directories are walked recursively."""
+    findings: List[Finding] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                if "__pycache__" in file.parts:
+                    continue
+                findings.extend(lint_file(file, root=path))
+        else:
+            findings.extend(lint_file(path))
+    return findings

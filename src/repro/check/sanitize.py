@@ -1,0 +1,351 @@
+"""Runtime invariant sanitizer for the TC-join data structures.
+
+The paper's correctness hangs on a handful of structural invariants:
+
+* **TPR/TPR*-tree** (Šaltenis et al.): every parent entry's kinetic
+  bound conservatively contains its child subtree at the current
+  timestamp *and* for the whole horizon; occupancy stays within
+  ``[min_fill, capacity]``; the leaf entries and the object table agree
+  bit-for-bit.
+* **MTB-tree** (paper §IV-C): an object lives in exactly the bucket of
+  its last update time, bucket keys never run ahead of the clock, and
+  the per-bucket trees sum to the forest's object table.
+* **JoinResultStore** (Theorems 1–2): each pair's interval list is
+  sorted and pairwise disjoint, and no stored interval reaches past the
+  TC bound ``max(lut_a, lut_b) + T_M`` (``lut`` widened to the bucket
+  end under MTB bucketing).
+
+Every checker walks a live structure and returns
+:class:`~repro.check.errors.Finding` records instead of asserting, so
+callers can aggregate, report, or raise.  The checkers are duck-typed
+(no imports from :mod:`repro.index` or :mod:`repro.core`) — both those
+packages delegate their ``validate()`` paths here without creating an
+import cycle.
+
+Enable continuous checking with ``JoinConfig(sanitize=True)`` (or the
+``REPRO_SANITIZE=1`` environment variable); audit a persisted index
+with ``python -m repro.check sanitize PATH``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..geometry import INF
+from ..geometry.constants import CONTAIN_EPS, MERGE_TOL
+from .errors import Finding, InvariantViolation
+
+__all__ = [
+    "check_tpr_tree",
+    "check_mtb_forest",
+    "check_result_store",
+    "check_index",
+    "sanitize_engine",
+    "raise_on_findings",
+]
+
+
+def raise_on_findings(findings: Sequence[Finding]) -> None:
+    """Raise :class:`InvariantViolation` when ``findings`` is non-empty."""
+    if findings:
+        raise InvariantViolation(findings)
+
+
+# ----------------------------------------------------------------------
+# TPR / TPR*-tree structure
+# ----------------------------------------------------------------------
+def check_tpr_tree(
+    tree,
+    t_now: float,
+    check_times: Optional[Sequence[float]] = None,
+    label: str = "tree",
+) -> List[Finding]:
+    """Structural invariants of one TPR(*)-tree (codes SC101–SC104).
+
+    ``check_times`` are the timestamps at which parent-child kinetic
+    containment is verified; the default is the reference time and the
+    end of the insertion horizon, the two ends of the paper's validity
+    window.
+    """
+    if check_times is None:
+        check_times = [t_now, t_now + tree.horizon]
+    findings: List[Finding] = []
+    seen_oids: List[int] = []
+
+    root = tree.read_node(tree.root_id)
+    if root.level != tree.height - 1:
+        findings.append(Finding(
+            "SC101",
+            f"root level {root.level} does not match height {tree.height}",
+            f"{label}/node {tree.root_id}",
+        ))
+
+    def visit(page_id: int, expected_level: Optional[int]) -> None:
+        node = tree.read_node(page_id)
+        where = f"{label}/node {page_id}"
+        if expected_level is not None and node.level != expected_level:
+            findings.append(Finding(
+                "SC101",
+                f"level {node.level} where parent implies {expected_level}",
+                where,
+            ))
+        if page_id != tree.root_id and len(node.entries) < tree.min_fill:
+            findings.append(Finding(
+                "SC102",
+                f"underfull node: {len(node.entries)} < min_fill {tree.min_fill}",
+                where,
+            ))
+        if len(node.entries) > tree.node_capacity:
+            findings.append(Finding(
+                "SC102",
+                f"overfull node: {len(node.entries)} > capacity {tree.node_capacity}",
+                where,
+            ))
+        for entry in node.entries:
+            if node.is_leaf:
+                seen_oids.append(entry.ref)
+                if entry.ref not in tree.objects:
+                    findings.append(Finding(
+                        "SC104", f"leaf oid {entry.ref} missing from object table", where
+                    ))
+                elif tree.objects.get(entry.ref).kbox != entry.kbox:
+                    findings.append(Finding(
+                        "SC104",
+                        f"object table disagrees with leaf entry for oid {entry.ref}",
+                        where,
+                    ))
+            else:
+                child = tree.read_node(entry.ref)
+                if not child.entries:
+                    findings.append(Finding(
+                        "SC102", f"child node {entry.ref} is empty", where
+                    ))
+                else:
+                    for t in check_times:
+                        t_eval = max(t_now, t)
+                        child_box = child.bound_at(t_eval).at(t_eval)
+                        parent_box = entry.kbox.at(t_eval).expanded(
+                            CONTAIN_EPS, CONTAIN_EPS, CONTAIN_EPS, CONTAIN_EPS
+                        )
+                        if not parent_box.contains(child_box):
+                            findings.append(Finding(
+                                "SC103",
+                                f"bound of child {entry.ref} escapes its parent "
+                                f"entry at t={t_eval:g}",
+                                where,
+                            ))
+                visit(entry.ref, node.level - 1)
+
+    visit(tree.root_id, root.level)
+    if sorted(seen_oids) != sorted(tree.objects):
+        findings.append(Finding(
+            "SC104",
+            f"leaf entries ({len(seen_oids)}) do not match object table "
+            f"({len(tree.objects)})",
+            label,
+        ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# MTB forest
+# ----------------------------------------------------------------------
+def check_mtb_forest(forest, t_now: float, label: str = "forest") -> List[Finding]:
+    """MTB bucket invariants (codes SC201–SC203) plus per-bucket trees."""
+    findings: List[Finding] = []
+    total = 0
+    for key, _end, tree in forest.trees():
+        where = f"{label}/bucket {key}"
+        if not len(tree):
+            findings.append(Finding("SC202", "empty bucket tree retained", where))
+        findings.extend(check_tpr_tree(tree, t_now, label=where))
+        for obj in tree.all_objects():
+            if obj.t_ref > t_now:
+                findings.append(Finding(
+                    "SC203",
+                    f"object {obj.oid} updated at t={obj.t_ref:g}, after the "
+                    f"clock t={t_now:g}",
+                    where,
+                ))
+            if forest.bucket_key(obj.t_ref) != key:
+                findings.append(Finding(
+                    "SC201",
+                    f"object {obj.oid} (lut {obj.t_ref:g}) belongs in bucket "
+                    f"{forest.bucket_key(obj.t_ref)}, found in {key}",
+                    where,
+                ))
+            if obj.oid not in forest.objects:
+                findings.append(Finding(
+                    "SC202", f"object {obj.oid} missing from forest table", where
+                ))
+            elif forest.objects.tag(obj.oid) != key:
+                findings.append(Finding(
+                    "SC202",
+                    f"forest table files object {obj.oid} under bucket "
+                    f"{forest.objects.tag(obj.oid)}, tree says {key}",
+                    where,
+                ))
+        total += len(tree)
+    if total != len(forest.objects):
+        findings.append(Finding(
+            "SC202",
+            f"bucket trees hold {total} objects, forest table {len(forest.objects)}",
+            label,
+        ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Join result store
+# ----------------------------------------------------------------------
+def check_result_store(
+    store,
+    t_m: Optional[float] = None,
+    anchors: Optional[Dict[int, float]] = None,
+    floor: Optional[float] = None,
+    label: str = "store",
+) -> List[Finding]:
+    """Result-store invariants (codes SC301–SC304).
+
+    ``anchors`` maps oid → the Theorem-1/2 window anchor for that
+    object (its last update time, widened to the bucket end under MTB
+    bucketing); with ``t_m`` given, every stored interval must end by
+    ``max(anchor_a, anchor_b, floor) + t_m``.  ``floor`` covers the
+    initial join, whose window is anchored at the build timestamp.
+    Pass ``t_m=None`` for strategies without a TC bound (NaiveJoin).
+    """
+    findings: List[Finding] = []
+    pairs = store._pairs
+    by_oid = store._by_oid
+    for key, intervals in pairs.items():
+        where = f"{label}/pair {key}"
+        if not intervals:
+            findings.append(Finding("SC304", "pair with no stored intervals", where))
+            continue
+        for prev, cur in zip(intervals, intervals[1:]):
+            if cur.start < prev.start:
+                findings.append(Finding(
+                    "SC301", f"intervals out of order: {cur} after {prev}", where
+                ))
+            elif cur.start <= prev.end + MERGE_TOL:
+                findings.append(Finding(
+                    "SC302", f"intervals not disjoint: {prev} then {cur}", where
+                ))
+        if t_m is not None and anchors is not None:
+            anchor = max(anchors.get(key[0], -INF), anchors.get(key[1], -INF))
+            if floor is not None:
+                anchor = max(anchor, floor)
+            if anchor > -INF:
+                bound = anchor + t_m + MERGE_TOL
+                for iv in intervals:
+                    if iv.end > bound:
+                        findings.append(Finding(
+                            "SC303",
+                            f"interval {iv} exceeds the TC bound "
+                            f"{anchor:g} + T_M = {anchor + t_m:g}",
+                            where,
+                        ))
+        for oid in key:
+            if key not in by_oid.get(oid, ()):
+                findings.append(Finding(
+                    "SC304", f"pair not registered under oid {oid}", where
+                ))
+    for oid, keys in by_oid.items():
+        for key in keys:
+            if key not in pairs:
+                findings.append(Finding(
+                    "SC304",
+                    f"oid {oid} references unknown pair {key}",
+                    f"{label}/oid {oid}",
+                ))
+            elif oid not in key:
+                findings.append(Finding(
+                    "SC304",
+                    f"oid {oid} indexed under foreign pair {key}",
+                    f"{label}/oid {oid}",
+                ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Dispatchers
+# ----------------------------------------------------------------------
+def check_index(index, t_now: float, label: str = "index") -> List[Finding]:
+    """Audit one index — a TPR(*)-tree or an MTB forest."""
+    if hasattr(index, "trees"):
+        return check_mtb_forest(index, t_now, label=label)
+    return check_tpr_tree(index, t_now, label=label)
+
+
+def _tree_anchors(strategy) -> Dict[int, float]:
+    """oid → last update time, from the strategy's single trees."""
+    anchors: Dict[int, float] = {}
+    for name in ("tree_a", "tree_b"):
+        tree = getattr(strategy, name, None)
+        if tree is not None:
+            for obj in tree.all_objects():
+                anchors[obj.oid] = obj.t_ref
+    return anchors
+
+
+def _forest_anchors(*forests) -> Dict[int, float]:
+    """oid → bucket-end of its last update time (the Theorem-2 widening)."""
+    anchors: Dict[int, float] = {}
+    for forest in forests:
+        if forest is None:
+            continue
+        for obj in forest.all_objects():
+            anchors[obj.oid] = forest.bucket_end(forest.bucket_key(obj.t_ref))
+    return anchors
+
+
+def sanitize_engine(engine) -> List[Finding]:
+    """Check every structure a continuous-join engine maintains.
+
+    Accepts both :class:`~repro.core.engine.ContinuousJoinEngine`
+    (whatever its strategy) and
+    :class:`~repro.core.selfjoin.ContinuousSelfJoinEngine`; the
+    structures present are discovered by attribute.
+    """
+    t = engine.now
+    findings: List[Finding] = []
+
+    # Self-join engine: one forest, one canonical-pair store.
+    if not hasattr(engine, "_strategy"):
+        findings.extend(check_mtb_forest(engine.forest, t, label="forest"))
+        findings.extend(check_result_store(
+            engine.store,
+            t_m=engine.config.t_m,
+            anchors=_forest_anchors(engine.forest),
+            floor=getattr(engine, "start_time", None),
+        ))
+        return findings
+
+    strategy = engine._strategy
+    for name in ("tree_a", "tree_b"):
+        tree = getattr(strategy, name, None)
+        if tree is not None:
+            findings.extend(check_tpr_tree(tree, t, label=name))
+    for name in ("forest_a", "forest_b"):
+        forest = getattr(strategy, name, None)
+        if forest is not None:
+            findings.extend(check_mtb_forest(forest, t, label=name))
+
+    store = getattr(strategy, "store", None)
+    if store is not None:
+        t_m: Optional[float] = None
+        anchors: Optional[Dict[int, float]] = None
+        if engine.algorithm == "tc":
+            t_m = engine.config.t_m
+            anchors = _tree_anchors(strategy)
+        elif engine.algorithm == "mtb":
+            t_m = engine.config.t_m
+            anchors = _forest_anchors(
+                getattr(strategy, "forest_a", None),
+                getattr(strategy, "forest_b", None),
+            )
+        findings.extend(check_result_store(
+            store, t_m=t_m, anchors=anchors,
+            floor=getattr(engine, "start_time", None),
+        ))
+    return findings

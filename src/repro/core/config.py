@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -41,8 +42,14 @@ class JoinConfig:
     use_kernels: bool = True
     #: Extra sanity checking inside the engine (slow; used by tests).
     validate: bool = field(default=False, compare=False)
+    #: Run the :mod:`repro.check` invariant sanitizer after every
+    #: build/tick/update (slow; debugging and CI smoke tests).  Also
+    #: forced on by the ``REPRO_SANITIZE=1`` environment variable.
+    sanitize: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
+        if not self.sanitize and os.environ.get("REPRO_SANITIZE", "") not in ("", "0"):
+            object.__setattr__(self, "sanitize", True)
         if self.space_size <= 0:
             raise ValueError("space_size must be positive")
         if self.t_m <= 0:

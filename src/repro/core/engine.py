@@ -62,6 +62,7 @@ class ContinuousJoinEngine:
         self.config = config if config is not None else JoinConfig()
         self.algorithm = algorithm
         self.now = float(start_time)
+        self.start_time = float(start_time)
         self.objects_a: Dict[int, MovingObject] = {o.oid: o for o in objects_a}
         self.objects_b: Dict[int, MovingObject] = {o.oid: o for o in objects_b}
         overlap = self.objects_a.keys() & self.objects_b.keys()
@@ -78,6 +79,7 @@ class ContinuousJoinEngine:
         self.build_cost: CostSnapshot = self.tracker.snapshot()
         self.initial_join_cost: Optional[CostSnapshot] = None
         self.update_count = 0
+        self._sanitize()
 
     # ------------------------------------------------------------------
     # Convenience constructor
@@ -104,6 +106,7 @@ class ContinuousJoinEngine:
         with self.tracker.timed():
             self._strategy.initial_join(self.now)
         self.initial_join_cost = self.tracker.snapshot() - before
+        self._sanitize()
         return self.initial_join_cost
 
     def tick(self, t: float) -> None:
@@ -113,6 +116,7 @@ class ContinuousJoinEngine:
         self.now = t
         with self.tracker.timed():
             self._strategy.on_tick(t)
+        self._sanitize()
 
     def apply_update(self, obj: MovingObject) -> None:
         """Process one object update at the current timestamp.
@@ -131,6 +135,7 @@ class ContinuousJoinEngine:
         self.update_count += 1
         with self.tracker.timed():
             self._strategy.on_update(obj, dataset, self.now)
+        self._sanitize()
 
     def result_at(self, t: Optional[float] = None) -> Set[PairKey]:
         """Currently intersecting ``(a_oid, b_oid)`` pairs at time ``t``."""
@@ -152,6 +157,18 @@ class ContinuousJoinEngine:
         if store is None:
             return 0
         return store.prune_expired(self.now)
+
+    def _sanitize(self) -> None:
+        """Run the invariant sanitizer when ``JoinConfig.sanitize`` is on.
+
+        Raises :class:`repro.check.InvariantViolation` (an
+        ``AssertionError``) listing every violated invariant.
+        """
+        if not self.config.sanitize:
+            return
+        from ..check.sanitize import raise_on_findings, sanitize_engine
+
+        raise_on_findings(sanitize_engine(self))
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Set, Tuple
 
 from ..geometry import TimeInterval, merge_intervals
-from ..geometry.interval import _EPS as _MERGE_TOL
+from ..geometry.constants import MERGE_TOL as _MERGE_TOL
 from ..join import JoinTriple
 
 __all__ = ["JoinResultStore"]

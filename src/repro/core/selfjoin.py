@@ -40,6 +40,7 @@ class ContinuousSelfJoinEngine:
     ):
         self.config = config if config is not None else JoinConfig()
         self.now = float(start_time)
+        self.start_time = float(start_time)
         self.objects: Dict[int, MovingObject] = {}
         self.storage = TreeStorage(
             page_size=self.config.page_size, buffer_pages=self.config.buffer_pages
@@ -59,6 +60,7 @@ class ContinuousSelfJoinEngine:
             self.forest.insert(obj, self.now)
         self.store = JoinResultStore()
         self.initial_join_cost: Optional[CostSnapshot] = None
+        self._sanitize()
 
     # ------------------------------------------------------------------
     def run_initial_join(self) -> CostSnapshot:
@@ -77,6 +79,7 @@ class ContinuousSelfJoinEngine:
                     ):
                         self._add(triple.a_oid, triple.b_oid, triple)
         self.initial_join_cost = self.tracker.snapshot() - before
+        self._sanitize()
         return self.initial_join_cost
 
     def tick(self, t: float) -> None:
@@ -96,6 +99,7 @@ class ContinuousSelfJoinEngine:
             self.store.remove_object(obj.oid)
             for triple in mtb_join_object(self.forest, obj.kbox, obj.oid, t):
                 self._add(obj.oid, triple.b_oid, triple)
+        self._sanitize()
 
     def result_at(self, t: Optional[float] = None) -> Set[PairKey]:
         """All intersecting unordered pairs ``(lo_oid, hi_oid)`` at ``t``."""
@@ -109,6 +113,14 @@ class ContinuousSelfJoinEngine:
         return {b if a == oid else a for a, b in pairs if oid in (a, b)}
 
     # ------------------------------------------------------------------
+    def _sanitize(self) -> None:
+        """Run the invariant sanitizer when ``JoinConfig.sanitize`` is on."""
+        if not self.config.sanitize:
+            return
+        from ..check.sanitize import raise_on_findings, sanitize_engine
+
+        raise_on_findings(sanitize_engine(self))
+
     def _add(self, a_oid: int, b_oid: int, triple: JoinTriple) -> None:
         if a_oid == b_oid:
             return

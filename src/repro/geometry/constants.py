@@ -1,0 +1,43 @@
+"""Shared numeric tolerances and the pre-shifted-constant contract.
+
+Every tolerance that the scalar pair-test path, the vectorized kernels,
+and the index maintenance code share lives here, in one module, so the
+paths cannot drift apart silently.  The domain linter
+(:mod:`repro.check.lint`, rule ``RC006``) enforces that
+``geometry/intersection.py`` and ``geometry/kernels.py`` import their
+tolerances from this module instead of re-inlining the literals: the
+bit-exactness contract of the kernels (DESIGN.md §5.1) holds only while
+both paths evaluate the *same* constraint ``(lo - v_lo * t_ref) +
+(v_lo) * t`` with the *same* epsilon.
+
+Constants
+---------
+``PAIR_TEST_EPS``
+    Tolerance applied to pair-test constraint boundaries so that two
+    rectangles touching at a single timestamp are reported despite
+    floating-point rounding.  Used identically by the scalar
+    ``intersection_interval`` (2-d and n-d) and every batch kernel.
+``MERGE_TOL``
+    Gap below which two closed time intervals are coalesced by
+    :func:`repro.geometry.interval.merge_intervals` and the result
+    store's disjoint-tail fast path.
+``CONTAIN_EPS``
+    Tolerance for kinetic containment tests in the TPR-tree: node
+    bounds contain their descendants mathematically, but re-referencing
+    unions introduces rounding on the order of 1e-12; this looser
+    epsilon keeps guided deletion and the structural sanitizer exact
+    without admitting genuinely disjoint branches.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PAIR_TEST_EPS", "MERGE_TOL", "CONTAIN_EPS"]
+
+#: Pair-test constraint tolerance (scalar and kernel paths alike).
+PAIR_TEST_EPS = 1e-12
+
+#: Interval-merge gap tolerance.
+MERGE_TOL = 1e-9
+
+#: Kinetic containment tolerance for tree-structure checks.
+CONTAIN_EPS = 1e-6

@@ -24,14 +24,11 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from .box import NDIMS
+from .constants import PAIR_TEST_EPS as _EPS
 from .interval import INF, TimeInterval
 from .kinetic import KineticBox
 
 __all__ = ["intersection_interval", "intersects_during", "first_contact_time"]
-
-# Tolerance applied to constraint boundaries so that pairs touching at a
-# single timestamp are reported despite floating-point rounding.
-_EPS = 1e-12
 
 
 def _le_zero_window(

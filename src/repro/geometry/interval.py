@@ -18,10 +18,11 @@ from __future__ import annotations
 import math
 from typing import Iterable, Iterator, List, Optional, Sequence
 
+from .constants import MERGE_TOL as _EPS
+
 __all__ = ["INF", "TimeInterval", "merge_intervals"]
 
 INF = math.inf
-_EPS = 1e-9
 
 
 class TimeInterval:

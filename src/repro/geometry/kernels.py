@@ -32,7 +32,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from .box import NDIMS
-from .intersection import _EPS
+from .constants import PAIR_TEST_EPS as _EPS
 from .interval import INF, TimeInterval
 from .kinetic import KineticBox
 
@@ -146,7 +146,7 @@ class KineticBatch:
             )
         return self._speed_sums
 
-    def compress(self, mask) -> "KineticBatch":
+    def compress(self, mask: "np.ndarray") -> "KineticBatch":
         """Sub-batch of the rows where the boolean ``mask`` is true."""
         return KineticBatch(
             self.mlo[:, mask],
@@ -217,7 +217,7 @@ def _pair_windows(batch_a: KineticBatch, ia, batch_b: KineticBatch, jb, t0, t1):
 
 def batch_intersection_intervals(
     batch_a: KineticBatch, batch_b: KineticBatch, t0: float, t1: float = INF
-):
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
     """All-pairs constraint windows between two batches.
 
     Returns ``(lo, hi, valid)`` arrays of shape ``(len(a), len(b))``:
@@ -235,7 +235,7 @@ def batch_intersection_intervals(
 
 def batch_probe_windows(
     batch: KineticBatch, other: KineticBox, t0: float, t1: float = INF
-):
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
     """Constraint windows of every batch row against one probe box.
 
     The 1-vs-N case (tree search, single-side descent, IC filter) as a
@@ -283,7 +283,7 @@ def batch_probe_windows(
 
 def batch_filter_against(
     batch: KineticBatch, other: KineticBox, t0: float, t1: float = INF
-):
+) -> "np.ndarray":
     """Boolean mask of batch rows intersecting ``other`` during the window.
 
     This is the IC entry filter (`_filter_against`) as one kernel call:
@@ -297,7 +297,9 @@ def batch_filter_against(
 # ----------------------------------------------------------------------
 # Plane-sweep kernels
 # ----------------------------------------------------------------------
-def batch_sweep_bounds(batch: KineticBatch, dim: int, t0: float, t1: float):
+def batch_sweep_bounds(
+    batch: KineticBatch, dim: int, t0: float, t1: float
+) -> Tuple["np.ndarray", "np.ndarray"]:
     """Vectorized :func:`~repro.geometry.plane_sweep.sweep_bounds`.
 
     Returns ``(lb, ub)`` arrays over the batch, bit-identical to the

@@ -167,7 +167,7 @@ class KineticBox:
         """
         if t1 < t0:
             raise ValueError("t1 must be >= t0")
-        if t1 == t0:
+        if t1 <= t0:  # degenerate window integrates to zero
             return 0.0
         lo, hi = t0, t1
         # Restrict to the region where both extents are non-negative.

@@ -16,11 +16,10 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
+from .constants import PAIR_TEST_EPS as _EPS
 from .interval import INF, TimeInterval
 
 __all__ = ["NdKineticBox", "intersection_interval_nd", "sweep_bounds_nd"]
-
-_EPS = 1e-12
 
 
 class NdKineticBox:
@@ -171,12 +170,11 @@ def sweep_bounds_nd(
     """Sweep ``(lb, ub)`` of one dimension over a finite window —
     the plane-sweep enabler, generalized."""
     if t1 == INF:
-        lb = box.lo[dim] if box.v_lo[dim] >= 0 else -INF
-        ub = box.hi[dim] if box.v_hi[dim] <= 0 else INF
-        if t0 != box.t_ref:
-            lo, hi = box.at(t0)
-            lb = lo[dim] if box.v_lo[dim] >= 0 else -INF
-            ub = hi[dim] if box.v_hi[dim] <= 0 else INF
+        # box.at(t0) is exact when t0 equals t_ref (adding v * 0.0 is a
+        # no-op in IEEE-754), so no raw-equality fast path is needed.
+        lo, hi = box.at(t0)
+        lb = lo[dim] if box.v_lo[dim] >= 0 else -INF
+        ub = hi[dim] if box.v_hi[dim] <= 0 else INF
         return lb, ub
     lo0, hi0 = box.at(t0)
     lo1, hi1 = box.at(t1)

@@ -127,19 +127,15 @@ class MTBTree:
         return list(self.objects.objects())
 
     def validate(self, t_now: float) -> None:
-        """Check every bucket tree plus forest-level bookkeeping."""
-        total = 0
-        for key, _end, tree in self.trees():
-            assert len(tree) > 0, f"empty bucket tree {key} retained"
-            tree.validate(t_now)
-            for obj in tree.all_objects():
-                stored_key = self.objects.tag(obj.oid)
-                assert stored_key == key, "bucket table out of sync"
-                assert self.bucket_key(obj.t_ref) == key, (
-                    "object in wrong bucket for its update time"
-                )
-            total += len(tree)
-        assert total == len(self.objects), "forest size mismatch"
+        """Check every bucket tree plus forest-level bookkeeping.
+
+        Delegates to :func:`repro.check.sanitize.check_mtb_forest` and
+        raises :class:`~repro.check.errors.InvariantViolation` (an
+        ``AssertionError`` carrying SC-coded findings) on corruption.
+        """
+        from ..check.sanitize import check_mtb_forest, raise_on_findings
+
+        raise_on_findings(check_mtb_forest(self, t_now))
 
     # ------------------------------------------------------------------
     def _tree_for(self, key: int) -> TPRTree:

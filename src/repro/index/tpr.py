@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..geometry import INF, KineticBox, TimeInterval, intersection_interval, kernels
+from ..geometry.constants import CONTAIN_EPS as _CONTAIN_EPS
 from ..objects import MovingObject
 from .entry import Entry
 from .node import Node
@@ -27,12 +28,6 @@ __all__ = ["TPRTree", "DEFAULT_NODE_CAPACITY", "DEFAULT_HORIZON"]
 
 DEFAULT_NODE_CAPACITY = 30
 DEFAULT_HORIZON = 60.0
-
-# Tolerance for the guided-deletion containment test: node bounds contain
-# their descendants mathematically, but re-referencing unions introduces
-# rounding on the order of 1e-12; a loose epsilon keeps the guided search
-# exact without admitting genuinely disjoint branches.
-_CONTAIN_EPS = 1e-6
 
 
 class TPRTree:
@@ -462,48 +457,17 @@ class TPRTree:
     def validate(self, t_now: float, check_times: Optional[Sequence[float]] = None) -> None:
         """Raise ``AssertionError`` on any violated structural invariant.
 
-        Checks: level consistency, occupancy limits, parent bounds
-        containing children at ``t_now`` and each time in
-        ``check_times``, and object-table/leaf agreement.
+        Delegates to :func:`repro.check.sanitize.check_tpr_tree` (level
+        consistency, occupancy limits, parent bounds containing children
+        at ``t_now`` and each time in ``check_times``, object-table/leaf
+        agreement) and raises
+        :class:`~repro.check.errors.InvariantViolation` — an
+        ``AssertionError`` carrying SC-coded findings — when any check
+        fails.
         """
-        if check_times is None:
-            check_times = [t_now, t_now + self.horizon]
-        seen_oids: List[int] = []
+        from ..check.sanitize import check_tpr_tree, raise_on_findings
 
-        def visit(page_id: int, expected_level: Optional[int]) -> None:
-            node = self.read_node(page_id)
-            if expected_level is not None:
-                assert node.level == expected_level, "level mismatch"
-            if page_id != self.root_id:
-                assert len(node.entries) >= self.min_fill, (
-                    f"underfull node {page_id}: {len(node.entries)}"
-                )
-            assert len(node.entries) <= self.node_capacity, "overfull node"
-            for entry in node.entries:
-                if node.is_leaf:
-                    seen_oids.append(entry.ref)
-                    stored = self.objects.get(entry.ref)
-                    assert stored.kbox == entry.kbox, (
-                        f"object table out of sync for oid {entry.ref}"
-                    )
-                else:
-                    child = self.read_node(entry.ref)
-                    tol = 1e-6
-                    for t in check_times:
-                        t_eval = max(t_now, t)
-                        child_box = child.bound_at(t_eval).at(t_eval)
-                        parent_box = entry.kbox.at(t_eval).expanded(tol, tol, tol, tol)
-                        assert parent_box.contains(child_box), (
-                            f"parent bound violated at t={t_eval}"
-                        )
-                    visit(entry.ref, node.level - 1)
-
-        root = self.read_node(self.root_id)
-        assert root.level == self.height - 1, "height mismatch"
-        visit(self.root_id, root.level)
-        assert sorted(seen_oids) == sorted(self.objects), (
-            "leaf entries do not match object table"
-        )
+        raise_on_findings(check_tpr_tree(self, t_now, check_times))
 
     def __repr__(self) -> str:
         return (

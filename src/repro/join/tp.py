@@ -62,7 +62,9 @@ class _TPState:
         if time < self.min_inf:
             self.min_inf = time
             self.events = [event]
-        elif time == self.min_inf and self.min_inf < INF:
+        # Exact tie: simultaneous events share one expiry; a tolerance
+        # here would wrongly batch merely-close events together.
+        elif time == self.min_inf and self.min_inf < INF:  # noqa: RC001
             self.events.append(event)
 
 

@@ -1,0 +1,225 @@
+"""The RC001–RC006 domain lint: detection, exemptions, suppression."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from textwrap import dedent
+
+from repro.check import lint_paths, lint_source
+from repro.check.cli import main
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def codes(findings) -> list:
+    return [f.code for f in findings]
+
+
+def lint(source: str, rel=("join", "mod.py")) -> list:
+    return lint_source(dedent(source), rel, "/".join(rel))
+
+
+# ----------------------------------------------------------------------
+# RC001 — raw float equality on time/coordinate values
+# ----------------------------------------------------------------------
+class TestRC001:
+    def test_detects_time_equality(self):
+        findings = lint("""
+            def f(t_now, expiry):
+                return t_now == expiry
+        """)
+        assert codes(findings) == ["RC001"]
+
+    def test_detects_attribute_operand(self):
+        findings = lint("""
+            def f(iv, t):
+                return iv.start != t
+        """)
+        assert codes(findings) == ["RC001"]
+
+    def test_zero_and_inf_sentinels_exempt(self):
+        findings = lint("""
+            def f(t, t1):
+                return t == 0.0 or t1 == INF or t1 == -INF
+        """)
+        assert findings == []
+
+    def test_dunder_eq_exempt(self):
+        findings = lint("""
+            class Box:
+                def __eq__(self, other):
+                    return self.lo == other.lo
+        """)
+        assert findings == []
+
+    def test_interval_module_exempt(self):
+        source = """
+            def touches(end: float, start: float) -> bool:
+                return end == start
+        """
+        assert lint(source, rel=("geometry", "interval.py")) == []
+        assert codes(lint(source, rel=("geometry", "nd.py"))) == ["RC001"]
+
+    def test_non_time_names_not_flagged(self):
+        findings = lint("""
+            def f(count, total):
+                return count == total
+        """)
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = lint("""
+            def f(t_now, expiry):
+                return t_now == expiry  # noqa: RC001
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RC002 — wall-clock access in simulation-time layers
+# ----------------------------------------------------------------------
+class TestRC002:
+    def test_detects_time_import_in_core(self):
+        findings = lint("import time\n", rel=("core", "engine.py"))
+        assert codes(findings) == ["RC002"]
+
+    def test_detects_wall_clock_call(self):
+        findings = lint(
+            """
+            def f():
+                return time.perf_counter()
+            """,
+            rel=("index", "tpr.py"),
+        )
+        assert codes(findings) == ["RC002"]
+
+    def test_metrics_layer_allowed(self):
+        findings = lint("import time\n", rel=("metrics.py",))
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RC003 / RC004 — mutable defaults and bare except
+# ----------------------------------------------------------------------
+class TestRC003AndRC004:
+    def test_detects_mutable_default(self):
+        findings = lint("""
+            def f(xs=[]):
+                return xs
+        """)
+        assert codes(findings) == ["RC003"]
+
+    def test_none_default_allowed(self):
+        findings = lint("""
+            def f(xs=None):
+                return xs or []
+        """)
+        assert findings == []
+
+    def test_detects_bare_except(self):
+        findings = lint("""
+            def f():
+                try:
+                    return 1
+                except:
+                    return 2
+        """)
+        assert codes(findings) == ["RC004"]
+
+    def test_typed_except_allowed(self):
+        findings = lint("""
+            def f():
+                try:
+                    return 1
+                except ValueError:
+                    return 2
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RC005 — geometry annotation coverage
+# ----------------------------------------------------------------------
+class TestRC005:
+    def test_detects_unannotated_public_geometry_function(self):
+        findings = lint(
+            """
+            def area(w, h):
+                return w * h
+            """,
+            rel=("geometry", "shapes.py"),
+        )
+        assert codes(findings) == ["RC005", "RC005"]  # params + return
+
+    def test_annotated_function_clean(self):
+        findings = lint(
+            """
+            def area(w: float, h: float) -> float:
+                return w * h
+            """,
+            rel=("geometry", "shapes.py"),
+        )
+        assert findings == []
+
+    def test_private_and_non_geometry_exempt(self):
+        private = lint(
+            """
+            def _area(w, h):
+                return w * h
+            """,
+            rel=("geometry", "shapes.py"),
+        )
+        elsewhere = lint("""
+            def area(w, h):
+                return w * h
+        """)
+        assert private == [] and elsewhere == []
+
+
+# ----------------------------------------------------------------------
+# RC006 — scalar/kernel tolerance drift guard
+# ----------------------------------------------------------------------
+class TestRC006:
+    def test_detects_inlined_tolerance_and_missing_import(self):
+        findings = lint(
+            """
+            _EPS = 1e-12
+            """,
+            rel=("geometry", "kernels.py"),
+        )
+        assert codes(findings) == ["RC006", "RC006"]  # no import + literal
+
+    def test_shared_constants_import_clean(self):
+        findings = lint(
+            """
+            from .constants import PAIR_TEST_EPS as _EPS
+            """,
+            rel=("geometry", "kernels.py"),
+        )
+        assert findings == []
+
+    def test_other_files_unguarded(self):
+        findings = lint("_EPS = 1e-12\n", rel=("geometry", "box.py"))
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# The repository itself must lint clean
+# ----------------------------------------------------------------------
+def test_src_tree_is_lint_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_cli_lint_exit_codes(tmp_path):
+    out = io.StringIO()
+    assert main(["lint", str(SRC)], out=out) == 0
+    assert "clean" in out.getvalue()
+
+    bad = tmp_path / "join" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("def f(t_now, expiry):\n    return t_now == expiry\n")
+    out = io.StringIO()
+    assert main(["lint", str(tmp_path)], out=out) == 1
+    assert "RC001" in out.getvalue()

@@ -1,0 +1,241 @@
+"""Runtime sanitizer: each corruption is caught with the right SC code,
+and clean engines stay clean with ``sanitize=True``."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.check import (
+    InvariantViolation,
+    check_mtb_forest,
+    check_result_store,
+    check_tpr_tree,
+)
+from repro.check.cli import main
+from repro.core import ContinuousJoinEngine, ContinuousSelfJoinEngine, JoinConfig
+from repro.core.result import JoinResultStore
+from repro.geometry import Box, KineticBox, TimeInterval
+from repro.index import MTBTree, TPRStarTree, TreeStorage, save_forest, save_tree
+from repro.join import JoinTriple
+
+from ..conftest import random_objects
+
+
+def codes(findings) -> set:
+    return {f.code for f in findings}
+
+
+def build_tree(n: int = 40, t0: float = 0.0) -> TPRStarTree:
+    tree = TPRStarTree(
+        storage=TreeStorage(), node_capacity=8, horizon=10.0, use_kernels=False
+    )
+    for obj in random_objects(7, n, t_ref=t0, space=200.0):
+        tree.insert(obj, t0)
+    return tree
+
+
+def far_box(t_ref: float) -> KineticBox:
+    return KineticBox.rigid(Box(1e6, 1e6 + 1, 1e6, 1e6 + 1), 0.0, 0.0, t_ref)
+
+
+# ----------------------------------------------------------------------
+# TPR-tree corruption
+# ----------------------------------------------------------------------
+class TestTPRTree:
+    def test_clean_tree_has_no_findings(self):
+        tree = build_tree()
+        assert check_tpr_tree(tree, 0.0) == []
+
+    def test_shrunk_parent_bound_is_sc103(self):
+        tree = build_tree()
+        root = tree.root_node()
+        assert not root.is_leaf, "need an internal level to corrupt"
+        root.entries[0].kbox = far_box(0.0)
+        tree.storage.write_node(root)
+        assert "SC103" in codes(check_tpr_tree(tree, 0.0))
+
+    def test_mutated_leaf_entry_is_sc104(self):
+        tree = build_tree()
+        leaf = tree.read_node(tree.root_node().entries[0].ref)
+        assert leaf.is_leaf
+        leaf.entries[0].kbox = far_box(0.0)
+        tree.storage.write_node(leaf)
+        assert "SC104" in codes(check_tpr_tree(tree, 0.0))
+
+    def test_dropped_object_row_is_sc104(self):
+        tree = build_tree()
+        oid = next(iter(tree.objects))
+        tree.objects.pop(oid)
+        assert "SC104" in codes(check_tpr_tree(tree, 0.0))
+
+
+# ----------------------------------------------------------------------
+# MTB forest corruption
+# ----------------------------------------------------------------------
+def build_forest(t_now: float = 1.0) -> MTBTree:
+    forest = MTBTree(t_m=10.0, buckets_per_tm=2, node_capacity=8)
+    for obj in random_objects(11, 30, t_ref=1.0, space=200.0):
+        forest.insert(obj, t_now)
+    return forest
+
+
+class TestMTBForest:
+    def test_clean_forest_has_no_findings(self):
+        assert check_mtb_forest(build_forest(), 1.0) == []
+
+    def test_misfiled_object_is_sc201(self):
+        forest = build_forest()
+        # An object last updated at t=7 (bucket 1) filed under bucket 0.
+        (stray,) = random_objects(13, 1, id_offset=900, t_ref=7.0, space=200.0)
+        forest._tree_for(forest.bucket_key(1.0)).insert(stray, 7.0)
+        forest.objects.put(stray, forest.bucket_key(1.0))
+        assert "SC201" in codes(check_mtb_forest(forest, 8.0))
+
+    def test_wrong_table_tag_is_sc202(self):
+        forest = build_forest()
+        oid = next(iter(forest.objects))
+        obj = forest.objects.get(oid)
+        forest.objects.put(obj, forest.bucket_key(obj.t_ref) + 5)
+        assert "SC202" in codes(check_mtb_forest(forest, 1.0))
+
+    def test_future_update_is_sc203(self):
+        forest = build_forest()
+        assert "SC203" in codes(check_mtb_forest(forest, 0.5))
+
+
+# ----------------------------------------------------------------------
+# Result-store corruption
+# ----------------------------------------------------------------------
+def store_with(intervals) -> JoinResultStore:
+    store = JoinResultStore()
+    store.add(JoinTriple(1, 2, TimeInterval(0.0, 1.0)))
+    store._pairs[(1, 2)] = list(intervals)
+    return store
+
+
+class TestResultStore:
+    def test_clean_store_has_no_findings(self):
+        store = store_with([TimeInterval(0.0, 2.0), TimeInterval(5.0, 6.0)])
+        assert check_result_store(store) == []
+
+    def test_out_of_order_is_sc301(self):
+        store = store_with([TimeInterval(5.0, 6.0), TimeInterval(0.0, 2.0)])
+        assert "SC301" in codes(check_result_store(store))
+
+    def test_overlapping_intervals_are_sc302(self):
+        store = store_with([TimeInterval(0.0, 5.0), TimeInterval(4.0, 8.0)])
+        assert "SC302" in codes(check_result_store(store))
+
+    def test_tc_bound_violation_is_sc303(self):
+        store = store_with([TimeInterval(0.0, 100.0)])
+        findings = check_result_store(
+            store, t_m=10.0, anchors={1: 0.0, 2: 0.0}, floor=0.0
+        )
+        assert "SC303" in codes(findings)
+
+    def test_within_tc_bound_is_clean(self):
+        store = store_with([TimeInterval(0.0, 9.5)])
+        findings = check_result_store(
+            store, t_m=10.0, anchors={1: 0.0, 2: 0.0}, floor=0.0
+        )
+        assert findings == []
+
+    def test_unregistered_pair_is_sc304(self):
+        store = store_with([TimeInterval(0.0, 1.0)])
+        store._pairs[(3, 4)] = [TimeInterval(0.0, 1.0)]
+        assert "SC304" in codes(check_result_store(store))
+
+
+# ----------------------------------------------------------------------
+# Engine wiring: JoinConfig.sanitize catches corruption mid-run
+# ----------------------------------------------------------------------
+def build_engine(algorithm: str, sanitize: bool = True) -> ContinuousJoinEngine:
+    config = JoinConfig(t_m=20.0, node_capacity=8, sanitize=sanitize)
+    engine = ContinuousJoinEngine(
+        random_objects(3, 30, space=200.0),
+        random_objects(4, 30, id_offset=100, space=200.0),
+        algorithm,
+        config,
+    )
+    engine.run_initial_join()
+    return engine
+
+
+class TestEngineWiring:
+    @pytest.mark.parametrize("algorithm", ["naive", "etp", "tc", "mtb"])
+    def test_clean_run_with_sanitize_on(self, algorithm):
+        engine = build_engine(algorithm)
+        for step in range(1, 6):
+            t = float(step)
+            engine.tick(t)
+            for oid in (step, 100 + step):
+                engine.apply_update(
+                    (engine.objects_a.get(oid) or engine.objects_b[oid]).updated(t)
+                )
+
+    def test_tick_raises_on_corrupted_tree(self):
+        engine = build_engine("tc")
+        tree = engine._strategy.tree_a
+        leaf = tree.read_node(tree.root_node().entries[0].ref)
+        leaf.entries[0].kbox = far_box(0.0)
+        tree.storage.write_node(leaf)
+        with pytest.raises(InvariantViolation) as excinfo:
+            engine.tick(1.0)
+        assert "SC104" in {f.code for f in excinfo.value.findings}
+
+    def test_sanitize_off_skips_checks(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        engine = build_engine("tc", sanitize=False)
+        tree = engine._strategy.tree_a
+        leaf = tree.read_node(tree.root_node().entries[0].ref)
+        leaf.entries[0].kbox = far_box(0.0)
+        tree.storage.write_node(leaf)
+        engine.tick(1.0)  # corruption goes unnoticed by design
+
+    def test_selfjoin_clean_run(self, sanitized):
+        engine = ContinuousSelfJoinEngine(
+            random_objects(5, 40, space=200.0),
+            JoinConfig(t_m=20.0, node_capacity=8),
+        )
+        assert engine.config.sanitize  # flipped on by the fixture's env var
+        engine.run_initial_join()
+        for step in range(1, 6):
+            t = float(step)
+            engine.tick(t)
+            engine.apply_update(engine.objects[step].updated(t))
+
+    def test_env_var_opt_in(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert JoinConfig().sanitize
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not JoinConfig().sanitize
+
+
+# ----------------------------------------------------------------------
+# CLI audit of persisted indexes
+# ----------------------------------------------------------------------
+class TestSanitizeCLI:
+    def test_clean_tree_audits_clean(self, tmp_path):
+        path = tmp_path / "tree.db"
+        save_tree(build_tree(), str(path))
+        out = io.StringIO()
+        assert main(["sanitize", str(path)], out=out) == 0
+        assert "clean" in out.getvalue()
+
+    def test_corrupted_tree_audit_fails(self, tmp_path):
+        tree = build_tree()
+        leaf = tree.read_node(tree.root_node().entries[0].ref)
+        leaf.entries[0].kbox = far_box(0.0)
+        tree.storage.write_node(leaf)
+        path = tmp_path / "tree.db"
+        save_tree(tree, str(path))
+        out = io.StringIO()
+        assert main(["sanitize", str(path)], out=out) == 1
+        assert "SC104" in out.getvalue()
+
+    def test_forest_directory_audits_clean(self, tmp_path):
+        save_forest(build_forest(), str(tmp_path / "forest"))
+        out = io.StringIO()
+        assert main(["sanitize", str(tmp_path / "forest")], out=out) == 0

@@ -62,3 +62,14 @@ def random_objects(
 def rng() -> random.Random:
     """A deterministic RNG per test."""
     return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def sanitized(monkeypatch: pytest.MonkeyPatch) -> None:
+    """Force the invariant sanitizer on for every engine built in a test.
+
+    Sets ``REPRO_SANITIZE=1`` so any :class:`repro.core.JoinConfig`
+    constructed inside the test runs the :mod:`repro.check` sanitizer
+    after every build/tick/update.
+    """
+    monkeypatch.setenv("REPRO_SANITIZE", "1")

@@ -12,6 +12,7 @@ MODULES = [
     "repro.index",
     "repro.join",
     "repro.core",
+    "repro.check",
     "repro.workloads",
     "repro.queries",
     "repro.refine",
