@@ -16,11 +16,16 @@ pure Python while preserving every *relative* comparison.  Set
 from __future__ import annotations
 
 import os
+import re
+from contextlib import contextmanager
 from functools import lru_cache
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import ContinuousJoinEngine, JoinConfig, SimulationDriver
 from repro.join import JoinTechniques
+from repro.metrics import CostTracker
+from repro.obs import ObsRecorder
 from repro.workloads import Scenario, UpdateStream, make_workload
 
 # ----------------------------------------------------------------------
@@ -140,6 +145,41 @@ def measured_maintenance(
     engine.tracker.reset()
     driver = run_maintenance(engine, scenario, steps)
     return driver, driver.amortized_cost()
+
+
+# ----------------------------------------------------------------------
+# Observability artifacts
+# ----------------------------------------------------------------------
+#: Recordings are written here when ``REPRO_OBS`` is set; render them
+#: afterwards with ``python -m repro.obs report benchmarks/out/obs``.
+OBS_DIR = Path(os.environ.get("REPRO_OBS_DIR", Path(__file__).parent / "out" / "obs"))
+OBS_ENABLED = os.environ.get("REPRO_OBS", "") not in ("", "0")
+
+
+@contextmanager
+def obs_recording(tracker: CostTracker, figure: str, series: str, x: object):
+    """Record the enclosed measured section into one exported JSON file.
+
+    No-op unless ``REPRO_OBS`` is set.  A fresh recorder is attached for
+    the duration (displacing the engine's own, if any), so the exported
+    ``totals`` equal exactly the counters the figure table reports for
+    this cell.
+    """
+    if not OBS_ENABLED:
+        yield None
+        return
+    recorder = ObsRecorder(
+        "bench", meta={"figure": figure, "series": series, "x": x}
+    )
+    previous = tracker.obs
+    recorder.attach(tracker)
+    try:
+        yield recorder
+    finally:
+        recorder.detach()
+        tracker.attach_obs(previous)
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "_", f"{figure}_{series}_{x}").strip("_")
+        recorder.export_json(OBS_DIR / f"{slug}.json")
 
 
 # ----------------------------------------------------------------------

@@ -13,7 +13,14 @@ from __future__ import annotations
 
 import pytest
 
-from _harness import PROFILE, T_M, build_engine, record_row, scenario_for
+from _harness import (
+    PROFILE,
+    T_M,
+    build_engine,
+    obs_recording,
+    record_row,
+    scenario_for,
+)
 from repro.geometry import INF
 from repro.join import naive_join
 
@@ -34,9 +41,15 @@ def _run(n: int, constrained: bool, benchmark) -> None:
         with tracker.timed():
             return naive_join(tree_a, tree_b, 0.0, t_end, tracker)
 
-    result = benchmark.pedantic(initial_join, rounds=1, iterations=1)
-    assert result, "initial join found no pairs — workload too sparse"
     series = "Time-Constrained" if constrained else "Non Time-Constrained"
+    # Pay the build's write-back before attaching the recorder, so the
+    # recording holds exactly the measured join (clear/reset inside the
+    # measured call are then no-ops for the I/O accounting).
+    engine.storage.buffer.clear()
+    tracker.reset()
+    with obs_recording(tracker, FIGURE, series, n):
+        result = benchmark.pedantic(initial_join, rounds=1, iterations=1)
+    assert result, "initial join found no pairs — workload too sparse"
     record_row(
         FIGURE, series, n,
         tracker.page_reads + tracker.page_writes,

@@ -17,6 +17,7 @@ from __future__ import annotations
 import pytest
 
 from _harness import (
+    OBS_DIR,
     PROFILE,
     T_M,
     build_engine,
@@ -38,9 +39,14 @@ def test_fig13_maintenance(n, algorithm, benchmark):
     def maintain():
         return measured_maintenance(engine, scenario, steps)
 
+    series = "ETP-Join" if algorithm == "etp" else "MTB-Join"
     driver, per_update = benchmark.pedantic(maintain, rounds=1, iterations=1)
     assert driver.total_updates() > 0
-    series = "ETP-Join" if algorithm == "etp" else "MTB-Join"
+    if engine.obs is not None:  # REPRO_OBS=1: keep the phase/tick timeline
+        engine.export_obs(
+            OBS_DIR / f"fig13_timeline_{algorithm}_{n}.json",
+            meta={"bench": FIGURE, "series": series, "x": n},
+        )
     record_row(
         FIGURE, series, n,
         per_update.io_total,

@@ -19,8 +19,9 @@ from __future__ import annotations
 import json
 import random
 import sys
-import time
 from pathlib import Path
+
+from repro.metrics import monotonic_clock
 
 from repro.geometry import (
     Box,
@@ -54,11 +55,11 @@ def timed(fn, min_repeat: int = 3, min_time: float = 0.15) -> float:
     """Best-of wall time per call, repeated until the clock is trustworthy."""
     best = float("inf")
     repeats = 0
-    start_all = time.perf_counter()
-    while repeats < min_repeat or time.perf_counter() - start_all < min_time:
-        start = time.perf_counter()
+    start_all = monotonic_clock()
+    while repeats < min_repeat or monotonic_clock() - start_all < min_time:
+        start = monotonic_clock()
         fn()
-        best = min(best, time.perf_counter() - start)
+        best = min(best, monotonic_clock() - start)
         repeats += 1
     return best
 

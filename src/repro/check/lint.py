@@ -14,9 +14,13 @@ results rather than crashes:
     and ``±INF``.
 ``RC002``
     Wall-clock access (``time.time``, ``time.monotonic``,
-    ``datetime.now``, …) inside ``core/``, ``join/`` or ``index/``.
-    Those layers run on *simulation* time; real-clock reads belong in
-    :mod:`repro.metrics` only.
+    ``datetime.now``, …) anywhere but the single sanctioned clock
+    module :mod:`repro.metrics`, which exports ``monotonic_clock``
+    (mirroring how ``geometry/constants.py`` is the single source of
+    tolerances for RC006).  The simulation-time layers (``core/``,
+    ``join/``, ``index/``) are held to the stricter rule that they may
+    not even *import* ``time``/``datetime`` — they run on simulation
+    time only.
 ``RC003``
     Mutable default argument (``def f(x=[])``).
 ``RC004``
@@ -69,6 +73,10 @@ WALL_CLOCK_ATTRS = frozenset({
 #: Directories whose code runs on simulation time only (RC002).
 SIM_TIME_DIRS = ("core", "join", "index")
 
+#: The one file allowed to read the real clock (RC002): it exports
+#: ``monotonic_clock``, the package's single sanctioned clock source.
+CLOCK_MODULE = "metrics.py"
+
 _NOQA_RE = re.compile(r"#\s*noqa:\s*([A-Z0-9, ]+)")
 
 
@@ -118,6 +126,7 @@ class _Linter(ast.NodeVisitor):
         self.findings: List[Finding] = []
         self._func_stack: List[str] = []
         self.in_sim_dir = any(part in SIM_TIME_DIRS for part in self.rel_parts[:-1])
+        self.is_clock_module = self.rel_parts[-1] == CLOCK_MODULE
         self.in_interval_module = self.rel_parts[-2:] == ("geometry", "interval.py")
         self.in_geometry = "geometry" in self.rel_parts[:-1]
         self._class_depth = 0
@@ -193,7 +202,8 @@ class _Linter(ast.NodeVisitor):
                     self._add(
                         "RC002",
                         f"import of {alias.name!r} in a simulation-time "
-                        f"layer; route timing through repro.metrics",
+                        f"layer; route timing through "
+                        f"repro.metrics.monotonic_clock",
                         node,
                     )
         self.generic_visit(node)
@@ -204,19 +214,26 @@ class _Linter(ast.NodeVisitor):
                 self._add(
                     "RC002",
                     f"import from {node.module!r} in a simulation-time "
-                    f"layer; route timing through repro.metrics",
+                    f"layer; route timing through "
+                    f"repro.metrics.monotonic_clock",
                     node,
                 )
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:
-        if self.in_sim_dir and isinstance(node.func, ast.Attribute):
+        if not self.is_clock_module and isinstance(node.func, ast.Attribute):
             owner = _terminal_name(node.func.value)
             if (owner, node.func.attr) in WALL_CLOCK_ATTRS:
+                where = (
+                    "a simulation-time layer"
+                    if self.in_sim_dir
+                    else "non-clock code"
+                )
                 self._add(
                     "RC002",
-                    f"wall-clock call {owner}.{node.func.attr}() in a "
-                    f"simulation-time layer",
+                    f"wall-clock call {owner}.{node.func.attr}() in "
+                    f"{where}; use repro.metrics.monotonic_clock (the "
+                    f"single sanctioned clock source)",
                     node,
                 )
         self.generic_visit(node)

@@ -46,10 +46,17 @@ class JoinConfig:
     #: build/tick/update (slow; debugging and CI smoke tests).  Also
     #: forced on by the ``REPRO_SANITIZE=1`` environment variable.
     sanitize: bool = field(default=False, compare=False)
+    #: Record phase-attributed cost spans (:mod:`repro.obs`).  Off by
+    #: default — the engine then skips recorder creation entirely and
+    #: each counter increment pays one attribute test.  Also forced on
+    #: by the ``REPRO_OBS=1`` environment variable.
+    obs: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.sanitize and os.environ.get("REPRO_SANITIZE", "") not in ("", "0"):
             object.__setattr__(self, "sanitize", True)
+        if not self.obs and os.environ.get("REPRO_OBS", "") not in ("", "0"):
+            object.__setattr__(self, "obs", True)
         if self.space_size <= 0:
             raise ValueError("space_size must be positive")
         if self.t_m <= 0:

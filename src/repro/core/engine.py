@@ -34,6 +34,7 @@ from ..join import (
     tp_join,
 )
 from ..metrics import CostSnapshot, CostTracker
+from ..obs import NULL_SPAN, ObsRecorder
 from ..objects import MovingObject
 from .config import JoinConfig
 from .result import JoinResultStore
@@ -73,8 +74,22 @@ class ContinuousJoinEngine:
             buffer_pages=self.config.buffer_pages,
         )
         self.tracker: CostTracker = self.storage.tracker
+        #: Attached :class:`~repro.obs.ObsRecorder` when ``config.obs``
+        #: is on (or ``REPRO_OBS=1``); ``None`` otherwise.
+        self.obs: Optional[ObsRecorder] = None
+        if self.config.obs:
+            self.obs = ObsRecorder(
+                "engine",
+                meta={
+                    "algorithm": algorithm,
+                    "n_a": len(self.objects_a),
+                    "n_b": len(self.objects_b),
+                    "t_m": self.config.t_m,
+                },
+            )
+            self.obs.attach(self.tracker)
         self._strategy = _make_strategy(algorithm, self, techniques)
-        with self.tracker.timed():
+        with self.tracker.timed(), self._span("engine.build"):
             self._strategy.build(self.now)
         self.build_cost: CostSnapshot = self.tracker.snapshot()
         self.initial_join_cost: Optional[CostSnapshot] = None
@@ -103,7 +118,7 @@ class ContinuousJoinEngine:
     def run_initial_join(self) -> CostSnapshot:
         """Compute the initial answer; returns the cost of this phase."""
         before = self.tracker.snapshot()
-        with self.tracker.timed():
+        with self.tracker.timed(), self._span("engine.initial_join"):
             self._strategy.initial_join(self.now)
         self.initial_join_cost = self.tracker.snapshot() - before
         self._sanitize()
@@ -114,7 +129,7 @@ class ContinuousJoinEngine:
         if t < self.now:
             raise ValueError(f"time went backwards: {t} < {self.now}")
         self.now = t
-        with self.tracker.timed():
+        with self.tracker.timed(), self._span("engine.tick", t=t):
             self._strategy.on_tick(t)
         self._sanitize()
 
@@ -133,7 +148,7 @@ class ContinuousJoinEngine:
         else:
             raise KeyError(f"unknown object id {obj.oid}")
         self.update_count += 1
-        with self.tracker.timed():
+        with self.tracker.timed(), self._span("engine.update", t=self.now):
             self._strategy.on_update(obj, dataset, self.now)
         self._sanitize()
 
@@ -156,7 +171,20 @@ class ContinuousJoinEngine:
         store = getattr(self._strategy, "store", None)
         if store is None:
             return 0
-        return store.prune_expired(self.now)
+        with self._span("engine.expire", t=self.now):
+            return store.prune_expired(self.now)
+
+    def _span(self, name: str, **tags):
+        """A distinct phase span, or a no-op when recording is off."""
+        if self.obs is None:
+            return NULL_SPAN
+        return self.obs.span(name, **tags)
+
+    def export_obs(self, path, meta=None):
+        """Export the recording to JSON; requires ``config.obs``."""
+        if self.obs is None:
+            raise RuntimeError("observability is off; build with JoinConfig(obs=True)")
+        return self.obs.export_json(path, meta)
 
     def _sanitize(self) -> None:
         """Run the invariant sanitizer when ``JoinConfig.sanitize`` is on.

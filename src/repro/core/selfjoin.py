@@ -20,6 +20,7 @@ from typing import Dict, Iterable, Optional, Set, Tuple
 from ..index import MTBTree, TreeStorage
 from ..join import JoinTriple, mtb_join_object, naive_join
 from ..metrics import CostSnapshot, CostTracker
+from ..obs import NULL_SPAN, ObsRecorder
 from ..objects import MovingObject
 from .config import JoinConfig
 from .result import JoinResultStore
@@ -46,6 +47,14 @@ class ContinuousSelfJoinEngine:
             page_size=self.config.page_size, buffer_pages=self.config.buffer_pages
         )
         self.tracker: CostTracker = self.storage.tracker
+        #: Attached :class:`~repro.obs.ObsRecorder` when ``config.obs``
+        #: is on (or ``REPRO_OBS=1``); ``None`` otherwise.
+        self.obs: Optional[ObsRecorder] = None
+        if self.config.obs:
+            self.obs = ObsRecorder(
+                "selfjoin", meta={"t_m": self.config.t_m}
+            )
+            self.obs.attach(self.tracker)
         self.forest = MTBTree(
             t_m=self.config.t_m,
             storage=self.storage,
@@ -53,11 +62,12 @@ class ContinuousSelfJoinEngine:
             node_capacity=self.config.node_capacity,
             use_kernels=self.config.use_kernels,
         )
-        for obj in objects:
-            if obj.oid in self.objects:
-                raise ValueError(f"duplicate object id {obj.oid}")
-            self.objects[obj.oid] = obj
-            self.forest.insert(obj, self.now)
+        with self._span("engine.build"):
+            for obj in objects:
+                if obj.oid in self.objects:
+                    raise ValueError(f"duplicate object id {obj.oid}")
+                self.objects[obj.oid] = obj
+                self.forest.insert(obj, self.now)
         self.store = JoinResultStore()
         self.initial_join_cost: Optional[CostSnapshot] = None
         self._sanitize()
@@ -66,7 +76,7 @@ class ContinuousSelfJoinEngine:
     def run_initial_join(self) -> CostSnapshot:
         """Compute all intra-set pairs valid over the Theorem-2 windows."""
         before = self.tracker.snapshot()
-        with self.tracker.timed():
+        with self.tracker.timed(), self._span("engine.initial_join"):
             t_m = self.config.t_m
             buckets = list(self.forest.trees())
             for i, (_ka, end_a, tree_a) in enumerate(buckets):
@@ -94,7 +104,7 @@ class ContinuousSelfJoinEngine:
             raise KeyError(f"unknown object {obj.oid}")
         self.objects[obj.oid] = obj
         t = self.now
-        with self.tracker.timed():
+        with self.tracker.timed(), self._span("engine.update", t=t):
             self.forest.update(obj, t)
             self.store.remove_object(obj.oid)
             for triple in mtb_join_object(self.forest, obj.kbox, obj.oid, t):
@@ -113,6 +123,18 @@ class ContinuousSelfJoinEngine:
         return {b if a == oid else a for a, b in pairs if oid in (a, b)}
 
     # ------------------------------------------------------------------
+    def _span(self, name: str, **tags):
+        """A distinct phase span, or a no-op when recording is off."""
+        if self.obs is None:
+            return NULL_SPAN
+        return self.obs.span(name, **tags)
+
+    def export_obs(self, path, meta=None):
+        """Export the recording to JSON; requires ``config.obs``."""
+        if self.obs is None:
+            raise RuntimeError("observability is off; build with JoinConfig(obs=True)")
+        return self.obs.export_json(path, meta)
+
     def _sanitize(self) -> None:
         """Run the invariant sanitizer when ``JoinConfig.sanitize`` is on."""
         if not self.config.sanitize:

@@ -47,8 +47,10 @@ def _le_zero_window(
         if root < lo:
             return None
         return (lo, min(hi, root))
-    # m < 0: holds for t >= root.
-    if root > hi:
+    # m < 0: holds for t >= root.  A subnormal slope can overflow the
+    # division to +inf; "first contact at the infinite timestamp" means
+    # the rectangles never actually meet.
+    if root > hi or root == INF:
         return None
     return (max(lo, root), hi)
 

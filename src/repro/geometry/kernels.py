@@ -189,6 +189,10 @@ def _clamp_constraint(c, m, lo, hi, ok) -> None:
     np.logical_and(ok, (m != 0.0) | (c <= _EPS), out=ok)
     np.minimum(hi, root, out=hi, where=m > 0.0)
     np.maximum(lo, root, out=lo, where=m < 0.0)
+    # A subnormal slope can overflow the division to +inf; first contact
+    # at the infinite timestamp means the pair never meets (the scalar
+    # path rejects the same way).
+    np.logical_and(ok, lo < INF, out=ok)
 
 
 def _pair_windows(batch_a: KineticBatch, ia, batch_b: KineticBatch, jb, t0, t1):
@@ -278,6 +282,9 @@ def batch_probe_windows(
     flat_reject = (~(pos | neg)) & (c > _EPS)
     ok = ~flat_reject.any(axis=0)
     ok &= lo <= hi
+    # Same overflow guard as _clamp_constraint: a +inf contact time is
+    # "never meets", matching the scalar rejection.
+    ok &= lo < INF
     return lo, hi, ok
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from ..obs import tracker_span
 from ..objects import MovingObject
 from .object_table import ObjectTable
 from .store import TreeStorage
@@ -87,24 +88,27 @@ class MTBTree:
         """Index a new object in the bucket of its update time."""
         if obj.oid in self.objects:
             raise ValueError(f"object {obj.oid} already present")
-        key = self.bucket_key(obj.t_ref)
-        self._tree_for(key).insert(obj, t_now)
-        self.objects.put(obj, key)
+        with tracker_span(self.storage.tracker, "mtb.insert"):
+            key = self.bucket_key(obj.t_ref)
+            self._tree_for(key).insert(obj, t_now)
+            self.objects.put(obj, key)
 
     def delete(self, oid: int, t_now: float) -> MovingObject:
         """Remove an object from whichever bucket tree holds it."""
-        obj, key = self.objects.pop(oid)
-        assert key is not None
-        tree = self._trees[key]
-        tree.delete(oid, t_now)
-        if not len(tree):
-            self._drop_tree(key)
+        with tracker_span(self.storage.tracker, "mtb.delete"):
+            obj, key = self.objects.pop(oid)
+            assert key is not None
+            tree = self._trees[key]
+            tree.delete(oid, t_now)
+            if not len(tree):
+                self._drop_tree(key)
         return obj
 
     def update(self, obj: MovingObject, t_now: float) -> MovingObject:
         """Move an object from its old bucket to the current one."""
-        old = self.delete(obj.oid, t_now)
-        self.insert(obj, t_now)
+        with tracker_span(self.storage.tracker, "mtb.update"):
+            old = self.delete(obj.oid, t_now)
+            self.insert(obj, t_now)
         return old
 
     # ------------------------------------------------------------------

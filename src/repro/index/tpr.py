@@ -18,6 +18,7 @@ from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..geometry import INF, KineticBox, TimeInterval, intersection_interval, kernels
 from ..geometry.constants import CONTAIN_EPS as _CONTAIN_EPS
+from ..obs import tracker_span
 from ..objects import MovingObject
 from .entry import Entry
 from .node import Node
@@ -97,20 +98,23 @@ class TPRTree:
         """Insert a new object as of timestamp ``t_now``."""
         if obj.oid in self.objects:
             raise ValueError(f"object {obj.oid} already present")
-        self.objects.put(obj)
-        self._insert_entry(Entry(obj.kbox, obj.oid), 0, t_now, set())
+        with tracker_span(self.storage.tracker, "tpr.insert"):
+            self.objects.put(obj)
+            self._insert_entry(Entry(obj.kbox, obj.oid), 0, t_now, set())
 
     def delete(self, oid: int, t_now: float) -> MovingObject:
         """Remove an object; returns the stored version."""
-        obj, _tag = self.objects.pop(oid)
-        self._delete_entry(obj, t_now)
+        with tracker_span(self.storage.tracker, "tpr.delete"):
+            obj, _tag = self.objects.pop(oid)
+            self._delete_entry(obj, t_now)
         return obj
 
     def update(self, obj: MovingObject, t_now: float) -> MovingObject:
         """Replace an object's motion parameters (delete + insert)."""
-        old = self.delete(obj.oid, t_now)
-        self.objects.put(obj)
-        self._insert_entry(Entry(obj.kbox, obj.oid), 0, t_now, set())
+        with tracker_span(self.storage.tracker, "tpr.update"):
+            old = self.delete(obj.oid, t_now)
+            self.objects.put(obj)
+            self._insert_entry(Entry(obj.kbox, obj.oid), 0, t_now, set())
         return old
 
     def search(
@@ -127,6 +131,20 @@ class TPRTree:
         stack = [self.root_id]
         tracker = self.storage.tracker
         use_k = self.use_kernels
+        with tracker_span(tracker, "tpr.search"):
+            self._search_into(stack, region, t0, t1, tracker, use_k, results)
+        return results
+
+    def _search_into(
+        self,
+        stack: List[int],
+        region: KineticBox,
+        t0: float,
+        t1: float,
+        tracker,
+        use_k: bool,
+        results: List[Tuple[int, TimeInterval]],
+    ) -> None:
         while stack:
             node = self.read_node(stack.pop())
             entries = node.entries
@@ -152,7 +170,6 @@ class TPRTree:
                     results.append((entry.ref, interval))
                 else:
                     stack.append(entry.ref)
-        return results
 
     def all_objects(self) -> List[MovingObject]:
         """Stored versions of every object (table order)."""

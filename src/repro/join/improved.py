@@ -44,6 +44,7 @@ from ..index import TPRTree
 from ..index.entry import Entry
 from ..index.node import Node
 from ..metrics import CostTracker
+from ..obs import tracker_span
 from .types import JoinTriple
 
 __all__ = ["improved_join", "JoinTechniques"]
@@ -152,15 +153,16 @@ def improved_join(
     if tracker is None:
         tracker = tree_a.storage.tracker
     results: List[JoinTriple] = []
-    root_a = tree_a.root_node()
-    root_b = tree_b.root_node()
-    if not root_a.entries or not root_b.entries:
-        return results
-    ctx = _JoinContext(t_start, techniques.use_kernels)
-    _join_nodes(
-        tree_a, tree_b, root_a, root_b, t_start, t_end,
-        techniques, tracker, results, ctx,
-    )
+    with tracker_span(tracker, "join.improved"):
+        root_a = tree_a.root_node()
+        root_b = tree_b.root_node()
+        if not root_a.entries or not root_b.entries:
+            return results
+        ctx = _JoinContext(t_start, techniques.use_kernels)
+        _join_nodes(
+            tree_a, tree_b, root_a, root_b, t_start, t_end,
+            techniques, tracker, results, ctx,
+        )
     return results
 
 

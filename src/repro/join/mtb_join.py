@@ -24,6 +24,7 @@ from typing import List, Optional
 from ..geometry import KineticBox
 from ..index import MTBTree
 from ..metrics import CostTracker
+from ..obs import tracker_span
 from .improved import JoinTechniques, improved_join
 from .naive import naive_join
 from .types import JoinTriple
@@ -48,13 +49,14 @@ def mtb_join_object(
     if tracker is None:
         tracker = forest.storage.tracker
     triples: List[JoinTriple] = []
-    for _key, t_eb, tree in forest.trees():
-        horizon_end = t_eb + forest.t_m
-        if horizon_end <= t_now:
-            # Bucket fully drained by the T_M guarantee; nothing to do.
-            continue
-        for other_oid, interval in tree.search(kbox, t_now, horizon_end):
-            triples.append(JoinTriple(oid, other_oid, interval))
+    with tracker_span(tracker, "join.mtb.object"):
+        for _key, t_eb, tree in forest.trees():
+            horizon_end = t_eb + forest.t_m
+            if horizon_end <= t_now:
+                # Bucket fully drained by the T_M guarantee; nothing to do.
+                continue
+            for other_oid, interval in tree.search(kbox, t_now, horizon_end):
+                triples.append(JoinTriple(oid, other_oid, interval))
     return triples
 
 
@@ -79,16 +81,22 @@ def mtb_join(
         tracker = forest_a.storage.tracker
     t_m = forest_a.t_m
     triples: List[JoinTriple] = []
-    for _ka, end_a, tree_a in forest_a.trees():
-        for _kb, end_b, tree_b in forest_b.trees():
-            horizon_end = min(end_a, end_b) + t_m
-            if horizon_end <= t_now:
-                continue
-            if techniques is None:
-                found = naive_join(tree_a, tree_b, t_now, horizon_end, tracker)
-            else:
-                found = improved_join(
-                    tree_a, tree_b, t_now, horizon_end, techniques, tracker
-                )
-            triples.extend(found)
+    with tracker_span(tracker, "join.mtb"):
+        for _ka, end_a, tree_a in forest_a.trees():
+            for _kb, end_b, tree_b in forest_b.trees():
+                horizon_end = min(end_a, end_b) + t_m
+                if horizon_end <= t_now:
+                    continue
+                with tracker_span(
+                    tracker, "join.mtb.bucket", bucket_a=_ka, bucket_b=_kb
+                ):
+                    if techniques is None:
+                        found = naive_join(
+                            tree_a, tree_b, t_now, horizon_end, tracker
+                        )
+                    else:
+                        found = improved_join(
+                            tree_a, tree_b, t_now, horizon_end, techniques, tracker
+                        )
+                triples.extend(found)
     return triples

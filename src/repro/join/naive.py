@@ -21,6 +21,7 @@ from ..geometry import INF, intersection_interval
 from ..index import TPRTree
 from ..index.node import Node
 from ..metrics import CostTracker
+from ..obs import tracker_span
 from .types import JoinTriple
 
 __all__ = ["naive_join"]
@@ -41,11 +42,12 @@ def naive_join(
     if tracker is None:
         tracker = tree_a.storage.tracker
     results: List[JoinTriple] = []
-    root_a = tree_a.root_node()
-    root_b = tree_b.root_node()
-    if not root_a.entries or not root_b.entries:
-        return results
-    _join_nodes(tree_a, tree_b, root_a, root_b, t_start, t_end, tracker, results)
+    with tracker_span(tracker, "join.naive"):
+        root_a = tree_a.root_node()
+        root_b = tree_b.root_node()
+        if not root_a.entries or not root_b.entries:
+            return results
+        _join_nodes(tree_a, tree_b, root_a, root_b, t_start, t_end, tracker, results)
     return results
 
 

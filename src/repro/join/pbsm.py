@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..geometry import INF, KineticBox, intersection_interval, sweep_bounds
 from ..metrics import CostTracker
+from ..obs import tracker_span
 from ..objects import MovingObject
 from .types import JoinTriple
 
@@ -65,6 +66,20 @@ def pbsm_join(
         grid = max(1, int(math.sqrt(n / 64.0)))
     tile = space_size / grid
 
+    with tracker_span(tracker, "join.pbsm"):
+        return _pbsm_tiles(objects_a, objects_b, t_start, t_end,
+                           grid, tile, tracker)
+
+
+def _pbsm_tiles(
+    objects_a: Sequence[MovingObject],
+    objects_b: Sequence[MovingObject],
+    t_start: float,
+    t_end: float,
+    grid: int,
+    tile: float,
+    tracker: CostTracker,
+) -> List[JoinTriple]:
     tiles_a = _partition(objects_a, t_start, t_end, grid, tile)
     tiles_b = _partition(objects_b, t_start, t_end, grid, tile)
 

@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from ..index import TPRTree
 from ..metrics import CostTracker
+from ..obs import tracker_span
 from .improved import JoinTechniques, improved_join
 from .naive import naive_join
 from .types import JoinTriple
@@ -42,6 +43,9 @@ def tc_join(
     if t_m <= 0:
         raise ValueError("t_m must be positive")
     t_end = t_now + t_m
-    if techniques is None:
-        return naive_join(tree_a, tree_b, t_now, t_end, tracker)
-    return improved_join(tree_a, tree_b, t_now, t_end, techniques, tracker)
+    if tracker is None:
+        tracker = tree_a.storage.tracker
+    with tracker_span(tracker, "join.tc"):
+        if techniques is None:
+            return naive_join(tree_a, tree_b, t_now, t_end, tracker)
+        return improved_join(tree_a, tree_b, t_now, t_end, techniques, tracker)

@@ -34,6 +34,7 @@ from ..geometry import INF, KineticBox, intersection_interval
 from ..index import TPRTree
 from ..index.node import Node
 from ..metrics import CostTracker
+from ..obs import tracker_span
 from .types import JoinTriple
 
 __all__ = ["TPAnswer", "tp_join", "influence_scan"]
@@ -79,10 +80,11 @@ def tp_join(
         tracker = tree_a.storage.tracker
     pairs: Set[Tuple[int, int]] = set()
     state = _TPState()
-    root_a = tree_a.root_node()
-    root_b = tree_b.root_node()
-    if root_a.entries and root_b.entries:
-        _tp_nodes(tree_a, tree_b, root_a, root_b, t_now, tracker, pairs, state)
+    with tracker_span(tracker, "join.tp"):
+        root_a = tree_a.root_node()
+        root_b = tree_b.root_node()
+        if root_a.entries and root_b.entries:
+            _tp_nodes(tree_a, tree_b, root_a, root_b, t_now, tracker, pairs, state)
     return TPAnswer(pairs, state.min_inf, state.events)
 
 
@@ -195,20 +197,21 @@ def influence_scan(
         tracker = tree.storage.tracker
     triples: List[JoinTriple] = []
     min_inf = INF
-    stack = [tree.root_id]
-    while stack:
-        node = tree.read_node(stack.pop())
-        for entry in node.entries:
-            tracker.count_pair_tests()
-            interval = intersection_interval(entry.kbox, kbox, t_now, INF)
-            if interval is None:
-                continue
-            if node.is_leaf:
-                triples.append(JoinTriple(-1, entry.ref, interval))
-                if interval.start > t_now:
-                    min_inf = min(min_inf, interval.start)
-                elif t_now < interval.end < INF:
-                    min_inf = min(min_inf, interval.end)
-            else:
-                stack.append(entry.ref)
+    with tracker_span(tracker, "join.tp.influence"):
+        stack = [tree.root_id]
+        while stack:
+            node = tree.read_node(stack.pop())
+            for entry in node.entries:
+                tracker.count_pair_tests()
+                interval = intersection_interval(entry.kbox, kbox, t_now, INF)
+                if interval is None:
+                    continue
+                if node.is_leaf:
+                    triples.append(JoinTriple(-1, entry.ref, interval))
+                    if interval.start > t_now:
+                        min_inf = min(min_inf, interval.start)
+                    elif t_now < interval.end < INF:
+                        min_inf = min(min_inf, interval.end)
+                else:
+                    stack.append(entry.ref)
     return triples, min_inf

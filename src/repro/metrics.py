@@ -1,18 +1,44 @@
-"""Cost accounting: disk I/O, intersection tests, wall-clock timers.
+"""Cost accounting: disk I/O, intersection tests, monotonic timers.
 
 The paper reports *number of disk I/Os* and *total response time* for
 every experiment.  A single :class:`CostTracker` instance is threaded
 through the storage layer and the join algorithms so benchmarks can read
 both metrics after a run.  Trackers nest: a tracker can snapshot and
 diff, which is how per-update maintenance costs are amortized.
+
+This module is also the package's **single sanctioned clock source**
+(the RC002 contract, mirroring how :mod:`repro.geometry.constants` is
+the single source of tolerances): every layer that needs a real-time
+reading imports :func:`monotonic_clock` from here instead of touching
+:mod:`time` itself.  The simulation-time layers (``core``, ``join``,
+``index``) never read the real clock at all — the domain lint
+(:mod:`repro.check.lint`) enforces both halves.
+
+Phase-level *attribution* of these counters (which tick, which join,
+which tree descent an increment belongs to) lives in :mod:`repro.obs`:
+an :class:`~repro.obs.ObsRecorder` attached via :meth:`CostTracker.
+attach_obs` receives a copy of every increment on its innermost open
+span.  With no recorder attached the counters behave exactly as before
+(one predictable-branch test per increment).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict
+from typing import Dict, Optional, TYPE_CHECKING
 
-__all__ = ["CostTracker", "CostSnapshot"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs imports us)
+    from .obs.recorder import ObsRecorder
+
+__all__ = ["CostTracker", "CostSnapshot", "COUNTER_KEYS", "monotonic_clock"]
+
+#: The one sanctioned monotonic clock of the package (RC002).  Everything
+#: that measures elapsed real time — stopwatches, obs span timers,
+#: benchmarks — routes through this name.
+monotonic_clock = time.perf_counter
+
+#: Names of the attributable integer counters, in snapshot order.
+COUNTER_KEYS = ("page_reads", "page_writes", "pair_tests", "node_visits")
 
 
 class CostSnapshot:
@@ -85,7 +111,12 @@ class CostTracker:
     * ``pair_tests`` — exact moving-rectangle intersection tests, the
       dominant CPU term;
     * ``node_visits`` — index nodes visited by traversals;
-    * a wall-clock stopwatch accumulating time inside :meth:`timed`.
+    * a monotonic stopwatch accumulating time inside :meth:`timed`.
+
+    When an :class:`~repro.obs.ObsRecorder` is attached (see
+    :meth:`attach_obs`), every increment is *additionally* delivered to
+    the recorder's innermost open span, which is how ``repro.obs``
+    attributes cost to phases without changing any of the totals here.
     """
 
     def __init__(self) -> None:
@@ -94,27 +125,57 @@ class CostTracker:
         self.pair_tests = 0
         self.node_visits = 0
         self.cpu_seconds = 0.0
+        #: Attached :class:`~repro.obs.ObsRecorder`, or ``None``.
+        self.obs: Optional["ObsRecorder"] = None
+        self._timed_depth = 0
+        self._timed_t0 = 0.0
 
     # ------------------------------------------------------------------
     def count_read(self, n: int = 1) -> None:
         self.page_reads += n
+        if self.obs is not None:
+            self.obs.count("page_reads", n)
 
     def count_write(self, n: int = 1) -> None:
         self.page_writes += n
+        if self.obs is not None:
+            self.obs.count("page_writes", n)
 
     def count_pair_tests(self, n: int = 1) -> None:
         self.pair_tests += n
+        if self.obs is not None:
+            self.obs.count("pair_tests", n)
 
     def count_node_visit(self, n: int = 1) -> None:
         self.node_visits += n
+        if self.obs is not None:
+            self.obs.count("node_visits", n)
+
+    # ------------------------------------------------------------------
+    def attach_obs(self, recorder: Optional["ObsRecorder"]) -> None:
+        """Attach (or with ``None`` detach) an observability recorder.
+
+        From this point on every counter increment also lands on the
+        recorder's innermost open span; the tracker's own totals are
+        unaffected, which is what keeps the span rollup bit-exact
+        against them.
+        """
+        self.obs = recorder
 
     # ------------------------------------------------------------------
     def timed(self) -> "_Stopwatch":
-        """Context manager adding elapsed wall time to ``cpu_seconds``.
+        """Context manager adding elapsed monotonic time to ``cpu_seconds``.
+
+        Nest-safe: re-entering while a stopwatch is already running does
+        not double-count — only the outermost region accumulates, so
+        ``cpu_seconds`` is always *inclusive* wall time of the outermost
+        measured regions.  (Per-phase exclusive vs. inclusive splits are
+        the job of :mod:`repro.obs` span timers.)
 
         >>> tracker = CostTracker()
         >>> with tracker.timed():
-        ...     pass
+        ...     with tracker.timed():
+        ...         pass
         >>> tracker.cpu_seconds >= 0.0
         True
         """
@@ -131,7 +192,7 @@ class CostTracker:
         )
 
     def reset(self) -> None:
-        """Zero all counters."""
+        """Zero all counters (the attached recorder, if any, stays)."""
         self.page_reads = 0
         self.page_writes = 0
         self.pair_tests = 0
@@ -147,11 +208,16 @@ class _Stopwatch:
 
     def __init__(self, tracker: CostTracker):
         self._tracker = tracker
-        self._t0 = 0.0
 
     def __enter__(self) -> "_Stopwatch":
-        self._t0 = time.perf_counter()
+        tracker = self._tracker
+        if tracker._timed_depth == 0:
+            tracker._timed_t0 = monotonic_clock()
+        tracker._timed_depth += 1
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self._tracker.cpu_seconds += time.perf_counter() - self._t0
+        tracker = self._tracker
+        tracker._timed_depth -= 1
+        if tracker._timed_depth == 0:
+            tracker.cpu_seconds += monotonic_clock() - tracker._timed_t0

@@ -1,0 +1,77 @@
+"""``python -m repro.obs`` — render recorded observability runs.
+
+Subcommands
+-----------
+
+``report PATH...``
+    Load one or more recording JSON files (directories are expanded to
+    their ``*.json`` members) and print paper-style tables: figure
+    tables across recordings (series / x / I/O / pair tests / CPU —
+    the EXPERIMENTS.md columns), then per-recording phase, component
+    and per-tick timeline breakdowns.
+``csv SRC DST``
+    Convert one recording JSON file to a flat per-span CSV.
+
+Examples::
+
+    python -m repro.obs report benchmarks/out/obs/
+    python -m repro.obs report run.json --sections phases,timeline
+    python -m repro.obs csv run.json run.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .report import iter_recordings, load_recording, render_report, write_csv
+
+__all__ = ["main", "build_parser"]
+
+_SECTIONS = ("figures", "phases", "components", "timeline")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.obs`` argument parser (exposed for tests/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="Render phase-attributed cost recordings as "
+        "paper-style tables",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="print tables from recordings")
+    p_report.add_argument("paths", nargs="+", metavar="PATH",
+                          help="recording JSON files or directories of them")
+    p_report.add_argument(
+        "--sections", default=",".join(_SECTIONS), metavar="LIST",
+        help="comma-separated subset of: " + ", ".join(_SECTIONS),
+    )
+
+    p_csv = sub.add_parser("csv", help="convert a recording JSON to CSV")
+    p_csv.add_argument("src", help="recording JSON file")
+    p_csv.add_argument("dst", help="output CSV path")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    if out is None:
+        out = sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "csv":
+        write_csv(load_recording(args.src), args.dst)
+        out.write(f"wrote {args.dst}\n")
+        return 0
+    sections = tuple(s.strip() for s in args.sections.split(",") if s.strip())
+    unknown = [s for s in sections if s not in _SECTIONS]
+    if unknown:
+        out.write(f"unknown section(s): {', '.join(unknown)}\n")
+        return 2
+    recordings = iter_recordings(args.paths)
+    if not recordings:
+        out.write("no recordings found\n")
+        return 1
+    render_report(recordings, lambda line: out.write(line + "\n"), sections)
+    return 0

@@ -74,11 +74,16 @@ class BufferPool(Generic[T]):
     def get(self, page_id: int) -> T:
         """Fetch a page object, reading from disk on a buffer miss."""
         frame = self._frames.get(page_id)
+        obs = self.disk.tracker.obs
         if frame is not None:
             self.hits += 1
+            if obs is not None:
+                obs.count("buffer_hits")
             self._frames.move_to_end(page_id)
             return frame.obj
         self.misses += 1
+        if obs is not None:
+            obs.count("buffer_misses")
         obj = self.codec.decode(self.disk.read_page(page_id))
         self._admit(page_id, _Frame(obj, dirty=False))
         return obj
@@ -151,6 +156,9 @@ class BufferPool(Generic[T]):
         self._frames.move_to_end(page_id)
         while len(self._frames) > self.capacity:
             victim_id, victim = self._frames.popitem(last=False)
+            obs = self.disk.tracker.obs
+            if obs is not None:
+                obs.count("buffer_evictions")
             if victim.dirty and self.disk.is_allocated(victim_id):
                 self.disk.write_page(victim_id, self.codec.encode(victim.obj))
 

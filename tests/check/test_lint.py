@@ -98,6 +98,36 @@ class TestRC002:
         findings = lint("import time\n", rel=("metrics.py",))
         assert findings == []
 
+    def test_clock_module_may_call_the_clock(self):
+        findings = lint(
+            """
+            import time
+            monotonic_clock = time.perf_counter
+
+            def probe():
+                return time.perf_counter()
+            """,
+            rel=("metrics.py",),
+        )
+        assert findings == []
+
+    def test_wall_clock_call_outside_sim_dirs_flagged(self):
+        # The single-source rule: even non-simulation layers must route
+        # real-clock reads through repro.metrics.monotonic_clock.
+        findings = lint(
+            """
+            def stamp():
+                return time.monotonic()
+            """,
+            rel=("storage", "buffer.py"),
+        )
+        assert codes(findings) == ["RC002"]
+        assert "monotonic_clock" in findings[0].message
+
+    def test_sim_dir_may_not_even_import_time(self):
+        assert codes(lint("import time\n", rel=("join", "mod.py"))) == ["RC002"]
+        assert lint("import time\n", rel=("workloads", "gen.py")) == []
+
 
 # ----------------------------------------------------------------------
 # RC003 / RC004 — mutable defaults and bare except

@@ -1,0 +1,171 @@
+"""Differential equivalence across every join implementation.
+
+One seeded workload grid (three sizes x two distributions) pushed
+through all the window-join implementations and the brute-force oracle.
+Three layers of agreement are required:
+
+* **Store level** — brute force, NaiveJoin and the improved TC join
+  must populate bit-identical :class:`JoinResultStore` contents for the
+  same window ``[0, T_M]``.
+* **Ablation level** — ``use_kernels`` on vs. off is bit-exact at the
+  triple level (floats compared with ``==``, no rounding).
+* **Answer level** — all five algorithms (naive, improved, PBSM,
+  MTB-join, TP-join) report the oracle's exact pair set at sampled
+  timestamps, each over the window it guarantees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ContinuousJoinEngine, JoinConfig, JoinResultStore
+from repro.index import MTBTree, TPRStarTree, TreeStorage
+from repro.join import (
+    JoinTechniques,
+    brute_force_join,
+    brute_force_pairs_at,
+    improved_join,
+    mtb_join,
+    naive_join,
+    pbsm_join,
+    tp_join,
+)
+from repro.workloads import UpdateStream, make_workload
+
+T_M = 30.0
+SIZES = (30, 60, 120)
+DISTRIBUTIONS = ("uniform", "gaussian")
+SAMPLE_TIMES = (0.0, 4.5, 11.0, 19.5, 29.0)
+GRID = [
+    pytest.param(n, dist, id=f"{dist}-{n}")
+    for n in SIZES
+    for dist in DISTRIBUTIONS
+]
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    """Scenario plus freshly built TPR trees and MTB forests per cell."""
+    cells = {}
+    for n in SIZES:
+        for dist in DISTRIBUTIONS:
+            scenario = make_workload(
+                n, dist, max_speed=3.0, object_size_pct=0.8,
+                t_m=T_M, seed=100 + n,
+            )
+            storage = TreeStorage()
+            tree_a = TPRStarTree(storage=storage, horizon=T_M)
+            tree_b = TPRStarTree(storage=storage, horizon=T_M)
+            forest_a = MTBTree(t_m=T_M, storage=storage)
+            forest_b = MTBTree(t_m=T_M, storage=storage)
+            for obj in scenario.set_a:
+                tree_a.insert(obj, 0.0)
+                forest_a.insert(obj, 0.0)
+            for obj in scenario.set_b:
+                tree_b.insert(obj, 0.0)
+                forest_b.insert(obj, 0.0)
+            cells[(n, dist)] = (scenario, tree_a, tree_b, forest_a, forest_b)
+    return cells
+
+
+def store_of(triples) -> JoinResultStore:
+    store = JoinResultStore()
+    store.add_all(iter(triples))
+    return store
+
+
+def snapshot(store: JoinResultStore):
+    """Exact (unrounded) contents of a store, order-normalized."""
+    return sorted(
+        (key, tuple((iv.start, iv.end) for iv in store.intervals_for(key)))
+        for key in store._pairs
+    )
+
+
+def exact(triples):
+    return sorted((a, b, iv.start, iv.end) for a, b, iv in triples)
+
+
+@pytest.mark.parametrize("n,dist", GRID)
+def test_store_contents_identical_across_interval_joins(workloads, n, dist):
+    scenario, tree_a, tree_b, _fa, _fb = workloads[(n, dist)]
+    oracle = snapshot(store_of(
+        brute_force_join(scenario.set_a, scenario.set_b, 0.0, T_M)
+    ))
+    assert snapshot(store_of(naive_join(tree_a, tree_b, 0.0, T_M))) == oracle
+    assert snapshot(store_of(
+        improved_join(tree_a, tree_b, 0.0, T_M, JoinTechniques.all())
+    )) == oracle
+    assert snapshot(store_of(
+        improved_join(tree_a, tree_b, 0.0, T_M, JoinTechniques.none())
+    )) == oracle
+    assert len(oracle) > 0, "vacuous workload: no intersecting pairs"
+
+
+@pytest.mark.parametrize("n,dist", GRID)
+def test_kernels_ablation_is_bit_exact(workloads, n, dist):
+    _scenario, tree_a, tree_b, _fa, _fb = workloads[(n, dist)]
+    for techniques in (JoinTechniques.all(), JoinTechniques.none()):
+        on = JoinTechniques(techniques.use_ps, techniques.use_ds,
+                            techniques.use_ic, use_kernels=True)
+        off = JoinTechniques(techniques.use_ps, techniques.use_ds,
+                             techniques.use_ic, use_kernels=False)
+        assert exact(improved_join(tree_a, tree_b, 0.0, T_M, on)) == \
+            exact(improved_join(tree_a, tree_b, 0.0, T_M, off))
+
+
+@pytest.mark.parametrize("n,dist", GRID)
+def test_all_five_algorithms_agree_at_sampled_times(workloads, n, dist):
+    scenario, tree_a, tree_b, forest_a, forest_b = workloads[(n, dist)]
+    stores = {
+        "naive": store_of(naive_join(tree_a, tree_b, 0.0, T_M)),
+        "improved": store_of(
+            improved_join(tree_a, tree_b, 0.0, T_M, JoinTechniques.all())
+        ),
+        "pbsm": store_of(pbsm_join(scenario.set_a, scenario.set_b, 0.0, T_M)),
+        # MTB windows run to bucket-end + T_M >= T_M, a superset window.
+        "mtb": store_of(mtb_join(forest_a, forest_b, 0.0, JoinTechniques.all())),
+    }
+    for t in SAMPLE_TIMES:
+        want = brute_force_pairs_at(scenario.set_a, scenario.set_b, t)
+        for name, store in stores.items():
+            got = store.pairs_at(t)
+            assert got == want, (name, t, got ^ want)
+        # TP-join answers one timestamp at a time, straight off the trees.
+        assert tp_join(tree_a, tree_b, t).pairs == want, ("tp", t)
+
+
+@pytest.mark.parametrize("dist", DISTRIBUTIONS)
+def test_engines_agree_under_sanitizer(dist):
+    """All engine algorithms, invariant-sanitized, match the oracle."""
+    scenario = make_workload(
+        40, dist, max_speed=3.0, object_size_pct=0.8, t_m=8.0, seed=31
+    )
+    config = JoinConfig(t_m=8.0, sanitize=True)
+    engines = {
+        algorithm: ContinuousJoinEngine.create(
+            scenario.set_a, scenario.set_b, algorithm=algorithm, config=config
+        )
+        for algorithm in ("naive", "etp", "tc", "mtb")
+    }
+    streams = {
+        algorithm: UpdateStream(scenario, seed=7) for algorithm in engines
+    }
+    for engine in engines.values():
+        engine.run_initial_join()
+    objects = {obj.oid: obj for obj in scenario.set_a + scenario.set_b}
+    for step in range(1, 5):
+        t = float(step)
+        for algorithm, engine in engines.items():
+            engine.tick(t)
+            current = {**engine.objects_a, **engine.objects_b}
+            for obj in streams[algorithm].updates_for(t, current):
+                engine.apply_update(obj)
+                objects[obj.oid] = obj
+        want = brute_force_pairs_at(
+            [objects[o.oid] for o in scenario.set_a],
+            [objects[o.oid] for o in scenario.set_b],
+            t,
+        )
+        for algorithm, engine in engines.items():
+            assert engine.result_at(t) == want, (algorithm, t)
