@@ -20,6 +20,7 @@ from .sanitize import (
     check_index,
     check_mtb_forest,
     check_result_store,
+    check_sharded_state,
     check_tpr_tree,
     raise_on_findings,
     sanitize_engine,
@@ -36,6 +37,7 @@ __all__ = [
     "check_tpr_tree",
     "check_mtb_forest",
     "check_result_store",
+    "check_sharded_state",
     "check_index",
     "sanitize_engine",
     "raise_on_findings",

@@ -7,15 +7,19 @@ Subcommands
     Run the RC001–RC006 domain lint over files or directory trees.
     Prints one line per finding; exits 1 when anything is found.
 ``sanitize PATH...``
-    Audit persisted indexes: a ``.db`` file saved with
-    :func:`repro.index.save_tree`, or a directory holding a forest
-    saved with :func:`repro.index.save_forest`.  Prints SC-code
-    findings; exits 1 when any invariant is violated.
+    Audit persisted join state: a ``.db`` file saved with
+    :func:`repro.index.save_tree`, a directory holding a forest
+    saved with :func:`repro.index.save_forest`, or a ``.json``
+    sharded-engine snapshot written from
+    :meth:`repro.par.ShardedJoinEngine.export_state` (checked with the
+    SC401–SC403 shard invariants).  Prints SC-code findings; exits 1
+    when any invariant is violated.
 
 Examples::
 
     python -m repro.check lint src/
     python -m repro.check sanitize /tmp/tree.db --at 12.5
+    python -m repro.check sanitize /tmp/sharded_state.json
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ from typing import List, Optional, Sequence
 
 from .errors import Finding
 from .lint import lint_paths
-from .sanitize import check_index
+from .sanitize import check_index, check_sharded_state
 
 __all__ = ["main", "build_parser"]
 
@@ -47,9 +51,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="files or directories to lint")
 
     p_san = sub.add_parser("sanitize",
-                           help="audit a persisted tree/forest (SC codes)")
+                           help="audit a persisted tree/forest or a sharded "
+                                "state snapshot (SC codes)")
     p_san.add_argument("paths", nargs="+", metavar="PATH",
-                       help="saved tree file or saved-forest directory")
+                       help="saved tree file, saved-forest directory, or "
+                            "sharded export_state() .json snapshot")
     p_san.add_argument("--at", type=float, default=None,
                        help="timestamp to check at (default: the index's "
                             "latest object update time)")
@@ -65,11 +71,18 @@ def _load_index(path: str):
 
 
 def _audit(path: str, at: Optional[float]) -> List[Finding]:
+    label = os.path.basename(path.rstrip("/")) or path
+    if path.endswith(".json"):
+        import json
+
+        with open(path, "r", encoding="utf-8") as fh:
+            state = json.load(fh)
+        return check_sharded_state(state, label=label)
     index = _load_index(path)
     if at is None:
         luts = [obj.t_ref for obj in index.all_objects()]
         at = max(luts) if luts else 0.0
-    return check_index(index, at, label=os.path.basename(path.rstrip("/")) or path)
+    return check_index(index, at, label=label)
 
 
 def _report(findings: Sequence[Finding], out, what: str) -> int:

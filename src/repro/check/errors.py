@@ -22,6 +22,10 @@ Sanitizer codes (``SCxxx``, checked at runtime against live structures):
 ``SC302``  result-store intervals not pairwise disjoint
 ``SC303``  stored interval exceeds the Theorem-1/2 TC bound
 ``SC304``  result-store pair/oid inverted index inconsistent
+``SC305``  stored pair missing its live min-expiry frontier entry
+``SC401``  stripe partition fails to cover the domain
+``SC402``  shard residency disagrees with the swept ghost-halo rule
+``SC403``  co-located pair copies diverge (or an endpoint is absent)
 ========  ============================================================
 
 Lint codes (``RCxxx``, checked statically over source files):
@@ -46,7 +50,8 @@ __all__ = ["Finding", "InvariantViolation", "SANITIZER_CODES", "LINT_CODES"]
 SANITIZER_CODES = (
     "SC101", "SC102", "SC103", "SC104",
     "SC201", "SC202", "SC203",
-    "SC301", "SC302", "SC303", "SC304",
+    "SC301", "SC302", "SC303", "SC304", "SC305",
+    "SC401", "SC402", "SC403",
 )
 
 LINT_CODES = ("RC001", "RC002", "RC003", "RC004", "RC005", "RC006")

@@ -11,9 +11,14 @@ The paper's correctness hangs on a handful of structural invariants:
   its last update time, bucket keys never run ahead of the clock, and
   the per-bucket trees sum to the forest's object table.
 * **JoinResultStore** (Theorems 1–2): each pair's interval list is
-  sorted and pairwise disjoint, and no stored interval reaches past the
+  sorted and pairwise disjoint, no stored interval reaches past the
   TC bound ``max(lut_a, lut_b) + T_M`` (``lut`` widened to the bucket
-  end under MTB bucketing).
+  end under MTB bucketing), and the lazy min-expiry frontier holds a
+  live entry for every stored pair.
+* **Sharded engine** (:mod:`repro.par`): the stripe partition covers
+  the whole domain, every object is resident in exactly the shards its
+  swept ghost halo touches, and pairs co-located on several shards
+  carry bit-identical interval lists.
 
 Every checker walks a live structure and returns
 :class:`~repro.check.errors.Finding` records instead of asserting, so
@@ -29,16 +34,20 @@ with ``python -m repro.check sanitize PATH``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..geometry import INF
 from ..geometry.constants import CONTAIN_EPS, MERGE_TOL
+from ..geometry.kinetic import KineticBox
+from ..geometry.plane_sweep import sweep_bounds
 from .errors import Finding, InvariantViolation
 
 __all__ = [
     "check_tpr_tree",
     "check_mtb_forest",
     "check_result_store",
+    "check_sharded_state",
     "check_index",
     "sanitize_engine",
     "raise_on_findings",
@@ -205,7 +214,7 @@ def check_result_store(
     floor: Optional[float] = None,
     label: str = "store",
 ) -> List[Finding]:
-    """Result-store invariants (codes SC301–SC304).
+    """Result-store invariants (codes SC301–SC305).
 
     ``anchors`` maps oid → the Theorem-1/2 window anchor for that
     object (its last update time, widened to the bucket end under MTB
@@ -213,10 +222,16 @@ def check_result_store(
     ``max(anchor_a, anchor_b, floor) + t_m``.  ``floor`` covers the
     initial join, whose window is anchored at the build timestamp.
     Pass ``t_m=None`` for strategies without a TC bound (NaiveJoin).
+
+    SC305 audits the lazy min-expiry frontier: a pair whose
+    ``(first interval end, key)`` entry is missing would be invisible
+    to :meth:`~repro.core.result.JoinResultStore.prune_expired`.
     """
     findings: List[Finding] = []
     pairs = store._pairs
     by_oid = store._by_oid
+    has_frontier = hasattr(store, "_frontier")
+    frontier = set(store._frontier) if has_frontier else set()
     for key, intervals in pairs.items():
         where = f"{label}/pair {key}"
         if not intervals:
@@ -250,6 +265,13 @@ def check_result_store(
                 findings.append(Finding(
                     "SC304", f"pair not registered under oid {oid}", where
                 ))
+        if has_frontier and (intervals[0].end, key) not in frontier:
+            findings.append(Finding(
+                "SC305",
+                f"no live frontier entry for first end {intervals[0].end:g}; "
+                "prune_expired would never visit this pair",
+                where,
+            ))
     for oid, keys in by_oid.items():
         for key in keys:
             if key not in pairs:
@@ -263,6 +285,130 @@ def check_result_store(
                     "SC304",
                     f"oid {oid} indexed under foreign pair {key}",
                     f"{label}/oid {oid}",
+                ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Sharded engine state
+# ----------------------------------------------------------------------
+def check_sharded_state(
+    state: Dict[str, object], label: str = "sharded"
+) -> List[Finding]:
+    """Shard invariants of a sharded-engine export (codes SC401–SC403).
+
+    ``state`` is the JSON-safe snapshot produced by
+    :meth:`~repro.par.sharded.ShardedJoinEngine.export_state` (format
+    ``"repro.par/1"``).  Everything is recomputed from the exported
+    object parameters — the checker shares no code with
+    :mod:`repro.par` beyond the geometry primitives, so it audits the
+    engine rather than restating it.
+
+    * **SC401** — the stripe partition covers the domain: cuts strictly
+      increasing, shard ids exactly ``0..K-1``.
+    * **SC402** — ghost membership matches the horizon rule: each
+      object's declared member set equals the stripes its kinetic box
+      sweeps over ``[t_ref, t_ref + ghost_horizon]``, and each shard
+      holds exactly its members.
+    * **SC403** — the merged store is a duplicate-free union: a pair
+      stored on several shards carries a bit-identical interval list on
+      every copy, and a shard storing a pair holds both endpoints.
+    """
+    findings: List[Finding] = []
+    fmt = state.get("format")
+    if fmt != "repro.par/1":
+        findings.append(Finding("SC401", f"unknown export format {fmt!r}", label))
+        return findings
+    cuts = [float(c) for c in state["cuts"]]
+    axis = int(state["axis"])
+    horizon = float(state["ghost_horizon"])
+    shards = state["shards"]
+    n_shards = len(cuts) + 1
+
+    # SC401: K-1 increasing cuts <=> K stripes tiling (-inf, +inf).
+    if any(b <= a for a, b in zip(cuts, cuts[1:])):
+        findings.append(Finding(
+            "SC401", f"cuts not strictly increasing: {cuts}", label
+        ))
+    shard_ids = [int(s["shard"]) for s in shards]
+    if sorted(shard_ids) != list(range(n_shards)):
+        findings.append(Finding(
+            "SC401",
+            f"{len(cuts)} cuts imply shards 0..{n_shards - 1}, engine "
+            f"reports {sorted(shard_ids)}",
+            label,
+        ))
+        return findings  # membership recompute needs a sane shard set
+
+    # SC402: recompute each object's swept ghost membership from its
+    # exported kinetic parameters and compare against both the declared
+    # member list and the actual shard contents.
+    residents_a = {int(s["shard"]): set(s["objects_a"]) for s in shards}
+    residents_b = {int(s["shard"]): set(s["objects_b"]) for s in shards}
+    members_of: Dict[int, Set[int]] = {}
+    for entry in state["objects"]:
+        oid = int(entry["oid"])
+        where = f"{label}/object {oid}"
+        kbox = KineticBox.from_params(tuple(entry["params"]))
+        lo, hi = sweep_bounds(kbox, axis, kbox.t_ref, kbox.t_ref + horizon)
+        # Stripe boundaries belong to both neighbors (closed semantics).
+        expected = list(range(bisect_left(cuts, lo), bisect_right(cuts, hi) + 1))
+        declared = [int(m) for m in entry["members"]]
+        members_of[oid] = set(expected)
+        if declared != expected:
+            findings.append(Finding(
+                "SC402",
+                f"declared members {declared} != swept-halo members {expected}",
+                where,
+            ))
+        residents = residents_a if entry["dataset"] == "a" else residents_b
+        for sid in range(n_shards):
+            if oid in residents[sid]:
+                if sid not in expected:
+                    findings.append(Finding(
+                        "SC402",
+                        f"resident on shard {sid} outside its halo {expected}",
+                        where,
+                    ))
+            elif sid in expected:
+                findings.append(Finding(
+                    "SC402", f"missing from member shard {sid}", where
+                ))
+    for sid in range(n_shards):
+        for oid in sorted(
+            (residents_a[sid] | residents_b[sid]) - set(members_of)
+        ):
+            findings.append(Finding(
+                "SC402",
+                f"shard resident {oid} unknown to the engine",
+                f"{label}/shard {sid}",
+            ))
+
+    # SC403: co-located pair copies must agree bit-for-bit, and a shard
+    # can only have computed a pair it holds both endpoints of.
+    first_copy: Dict[Tuple[int, int], Tuple[int, List]] = {}
+    for s in shards:
+        sid = int(s["shard"])
+        for key_list, ivs in s["store"]:
+            key = (int(key_list[0]), int(key_list[1]))
+            where = f"{label}/shard {sid}/pair {key}"
+            for oid in key:
+                if sid not in members_of.get(oid, ()):
+                    findings.append(Finding(
+                        "SC403",
+                        f"stored pair endpoint {oid} is not a member of "
+                        f"shard {sid}",
+                        where,
+                    ))
+            prior = first_copy.get(key)
+            if prior is None:
+                first_copy[key] = (sid, ivs)
+            elif prior[1] != ivs:
+                findings.append(Finding(
+                    "SC403",
+                    f"interval list {ivs} differs from shard {prior[0]}'s "
+                    f"copy {prior[1]}",
+                    where,
                 ))
     return findings
 

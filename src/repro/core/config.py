@@ -40,6 +40,11 @@ class JoinConfig:
     #: (:mod:`repro.geometry.kernels`).  Identical results either way;
     #: off forces the scalar reference path for ablations.
     use_kernels: bool = True
+    #: Let :meth:`ContinuousJoinEngine.apply_updates` group-commit a
+    #: same-timestamp batch (bulk index maintenance + one shared probe
+    #: descent per dataset).  Results are bit-exact either way; off
+    #: forces the per-update serial loop for ablations.
+    batch_updates: bool = True
     #: Extra sanity checking inside the engine (slow; used by tests).
     validate: bool = field(default=False, compare=False)
     #: Run the :mod:`repro.check` invariant sanitizer after every

@@ -14,6 +14,7 @@ garbage collection of intervals wholly in the past.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, Iterator, List, Set, Tuple
 
 from ..geometry import TimeInterval, merge_intervals
@@ -26,11 +27,23 @@ PairKey = Tuple[int, int]
 
 
 class JoinResultStore:
-    """Pair → interval-list map with per-object invalidation."""
+    """Pair → interval-list map with per-object invalidation.
+
+    A lazy min-expiry frontier (heap of ``(first interval end, key)``)
+    lets :meth:`prune_expired` touch only pairs that actually have an
+    expired interval — O(expired · log n) per call instead of a scan of
+    every stored pair.  Entries are pushed whenever a pair's *first*
+    interval end may have changed and validated on pop; removal paths
+    (:meth:`remove_object`, re-merges) simply leave stale entries behind
+    to be skipped later.
+    """
 
     def __init__(self) -> None:
         self._pairs: Dict[PairKey, List[TimeInterval]] = {}
         self._by_oid: Dict[int, Set[PairKey]] = {}
+        #: lazy min-heap over (intervals[0].end, key); may hold stale
+        #: entries, but always holds a live entry for every stored pair.
+        self._frontier: List[Tuple[float, PairKey]] = []
 
     # ------------------------------------------------------------------
     # Mutation
@@ -51,11 +64,16 @@ class JoinResultStore:
             self._pairs[key] = [triple.interval]
             self._by_oid.setdefault(triple.a_oid, set()).add(key)
             self._by_oid.setdefault(triple.b_oid, set()).add(key)
+            heapq.heappush(self._frontier, (triple.interval.end, key))
         elif triple.interval.start > intervals[-1].end + _MERGE_TOL:
+            # Appending after the tail leaves intervals[0] (and hence the
+            # pair's frontier entry) untouched.
             intervals.append(triple.interval)
         else:
             intervals.append(triple.interval)
-            self._pairs[key] = merge_intervals(intervals)
+            merged = merge_intervals(intervals)
+            self._pairs[key] = merged
+            heapq.heappush(self._frontier, (merged[0].end, key))
 
     def add_all(self, triples: Iterator[JoinTriple]) -> None:
         for triple in triples:
@@ -75,27 +93,43 @@ class JoinResultStore:
         return len(keys)
 
     def prune_expired(self, t: float) -> int:
-        """Discard intervals that ended before ``t``; returns pairs dropped."""
-        dead: List[PairKey] = []
-        for key, intervals in self._pairs.items():
-            alive = [iv for iv in intervals if iv.end >= t]
-            if alive:
-                self._pairs[key] = alive
+        """Discard intervals that ended before ``t``; returns pairs dropped.
+
+        Interval lists are sorted and disjoint, so a pair's earliest end
+        is ``intervals[0].end`` — exactly what the frontier heap orders
+        by.  Pairs whose earliest end is ``>= t`` have nothing expired
+        and are never touched.
+        """
+        frontier = self._frontier
+        dropped = 0
+        while frontier and frontier[0][0] < t:
+            end, key = heapq.heappop(frontier)
+            intervals = self._pairs.get(key)
+            # Exact identity on purpose: a frontier entry is live iff it
+            # still carries the stored first end bit-for-bit.
+            if intervals is None or intervals[0].end != end:  # noqa: RC001
+                continue  # stale entry: pair removed or re-merged since
+            k = 0
+            while k < len(intervals) and intervals[k].end < t:
+                k += 1
+            if k == len(intervals):
+                del self._pairs[key]
+                for oid in key:
+                    keys = self._by_oid.get(oid)
+                    if keys is not None:
+                        keys.discard(key)
+                        if not keys:
+                            del self._by_oid[oid]
+                dropped += 1
             else:
-                dead.append(key)
-        for key in dead:
-            del self._pairs[key]
-            for oid in key:
-                keys = self._by_oid.get(oid)
-                if keys is not None:
-                    keys.discard(key)
-                    if not keys:
-                        del self._by_oid[oid]
-        return len(dead)
+                self._pairs[key] = intervals[k:]
+                heapq.heappush(frontier, (intervals[k].end, key))
+        return dropped
 
     def clear(self) -> None:
         self._pairs.clear()
         self._by_oid.clear()
+        self._frontier.clear()
 
     # ------------------------------------------------------------------
     # Queries

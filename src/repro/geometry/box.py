@@ -49,6 +49,11 @@ class Box:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Box is immutable")
 
+    def __reduce__(self):
+        # Default slot-state pickling restores via setattr, which the
+        # immutability guard rejects; rebuild through __init__ instead.
+        return (Box, self._b)
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

@@ -53,6 +53,11 @@ class TimeInterval:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("TimeInterval is immutable")
 
+    def __reduce__(self):
+        # Default slot-state pickling restores via setattr, which the
+        # immutability guard rejects; rebuild through __init__ instead.
+        return (TimeInterval, (self.start, self.end))
+
     # ------------------------------------------------------------------
     # Basic predicates
     # ------------------------------------------------------------------

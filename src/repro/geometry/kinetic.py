@@ -46,6 +46,11 @@ class KineticBox:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("KineticBox is immutable")
 
+    def __reduce__(self):
+        # Default slot-state pickling restores via setattr, which the
+        # immutability guard rejects; rebuild through __init__ instead.
+        return (KineticBox, (self.mbr, self.vbr, self.t_ref))
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

@@ -1,0 +1,16 @@
+"""Parallel execution: spatial sharding and process-pool fan-out.
+
+* :class:`StripePartition` — K contiguous stripes along one axis with
+  quantile-balanced cuts (velocity-informed axis choice);
+* :class:`ShardedJoinEngine` — per-shard independent engines with
+  swept ghost/halo membership, bit-exact against the unsharded serial
+  engine, fanned out over a ``concurrent.futures`` process pool
+  (``workers=0`` runs serially in-process);
+* :mod:`repro.par.worker` — the shard command protocol shared by both
+  backends.
+"""
+
+from .partition import StripePartition
+from .sharded import SHARDABLE_ALGORITHMS, ShardedJoinEngine
+
+__all__ = ["StripePartition", "ShardedJoinEngine", "SHARDABLE_ALGORITHMS"]

@@ -1,0 +1,157 @@
+"""Worker-side execution of shard commands.
+
+A shard's engine is stateful, so pool execution routes every command
+for shard ``s`` to the *same* single-worker executor; inside that
+process the engine lives in the module-global :data:`_ENGINES`
+registry, keyed by shard id.  The serial (``workers=0``) backend runs
+the identical :func:`execute` dispatch on an in-process registry, so
+both paths share one command semantics.
+
+Commands are plain tuples ``(op, shard_id, *args)``; results are plain
+picklable values (tuples, dicts, :class:`~repro.metrics.CostSnapshot`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..core.config import JoinConfig
+from ..core.engine import ContinuousJoinEngine
+from ..objects import MovingObject
+
+__all__ = ["build_spec", "execute", "run_commands", "apply_shard_ops", "serve"]
+
+#: Per-process registry of shard engines (pool workers only).
+_ENGINES: Dict[int, ContinuousJoinEngine] = {}
+
+
+def build_spec(
+    objects_a: Sequence[MovingObject],
+    objects_b: Sequence[MovingObject],
+    algorithm: str,
+    config: JoinConfig,
+    start_time: float,
+) -> Tuple:
+    """The picklable recipe from which a shard engine is built."""
+    return (list(objects_a), list(objects_b), algorithm, config, start_time)
+
+
+def apply_shard_ops(engine: ContinuousJoinEngine, ops: Sequence[Tuple]) -> None:
+    """Apply one tick's membership-resolved op batch to a shard engine.
+
+    ``ops`` mixes ``("update", obj)`` for objects staying resident,
+    ``("admit", obj, dataset)`` for objects whose halo grew into the
+    shard, and ``("evict", oid)`` for halos that left; the whole batch
+    group-commits through
+    :meth:`~repro.core.engine.ContinuousJoinEngine.apply_updates`.
+    """
+    updates: List[MovingObject] = []
+    admissions: List[Tuple[MovingObject, str]] = []
+    evictions: List[int] = []
+    for op in ops:
+        kind = op[0]
+        if kind == "update":
+            updates.append(op[1])
+        elif kind == "admit":
+            admissions.append((op[1], op[2]))
+        elif kind == "evict":
+            evictions.append(op[1])
+        else:
+            raise ValueError(f"unknown shard op {kind!r}")
+    engine.apply_updates(updates, admit=admissions, evict=evictions)
+
+
+def _dump_store(engine: ContinuousJoinEngine) -> List[Tuple]:
+    """The result store as ``(key, ((start, end), …))`` rows."""
+    store = engine._strategy.store
+    return [
+        (key, tuple((iv.start, iv.end) for iv in intervals))
+        for key, intervals in store._pairs.items()
+    ]
+
+
+def _prune(engine: ContinuousJoinEngine) -> List[Tuple[int, int]]:
+    """Prune expired intervals; returns the pair keys fully dropped."""
+    store = engine._strategy.store
+    before = set(store._pairs)
+    engine.prune_expired()
+    return [key for key in before if key not in store._pairs]
+
+
+def execute(
+    engines: Dict[int, ContinuousJoinEngine], cmds: Sequence[Tuple]
+) -> List[Any]:
+    """Run a command batch against a registry; one result per command."""
+    out: List[Any] = []
+    for cmd in cmds:
+        op, sid = cmd[0], cmd[1]
+        if op == "build":
+            objects_a, objects_b, algorithm, config, start_time = cmd[2]
+            engines[sid] = ContinuousJoinEngine(
+                objects_a,
+                objects_b,
+                algorithm=algorithm,
+                config=config,
+                start_time=start_time,
+            )
+            out.append(engines[sid].build_cost)
+            continue
+        engine = engines[sid]
+        if op == "initial_join":
+            out.append(engine.run_initial_join())
+        elif op == "tick":
+            engine.tick(cmd[2])
+            out.append(None)
+        elif op == "ops":
+            apply_shard_ops(engine, cmd[2])
+            out.append(None)
+        elif op == "pairs_at":
+            out.append(engine.result_at(cmd[2]))
+        elif op == "store_dump":
+            out.append(_dump_store(engine))
+        elif op == "objects":
+            out.append(
+                (
+                    sorted(engine.objects_a),
+                    sorted(engine.objects_b),
+                )
+            )
+        elif op == "prune":
+            out.append(_prune(engine))
+        elif op == "cost":
+            out.append(engine.tracker.snapshot())
+        elif op == "obs":
+            out.append(None if engine.obs is None else engine.obs.to_dict())
+        else:
+            raise ValueError(f"unknown shard command {op!r}")
+    return out
+
+
+def run_commands(cmds: Sequence[Tuple]) -> List[Any]:
+    """Pool-worker entry point: dispatch against this process's registry."""
+    return execute(_ENGINES, cmds)
+
+
+def serve(conn) -> None:
+    """Pipe-worker main loop: answer command batches until told to stop.
+
+    Each request is one picklable command list; the reply is
+    ``("ok", results)`` or ``("error", traceback_text)`` — errors are
+    reported rather than killing the worker, so the engine state held
+    in :data:`_ENGINES` survives a failed command for post-mortem
+    commands.  A ``None`` request (or a closed pipe) shuts down.
+    """
+    while True:
+        try:
+            cmds = conn.recv()
+        except EOFError:
+            break
+        if cmds is None:
+            break
+        try:
+            conn.send(("ok", run_commands(cmds)))
+        except Exception:  # pragma: no cover - exercised via pool tests
+            import traceback
+
+            conn.send(("error", traceback.format_exc()))
+    conn.close()

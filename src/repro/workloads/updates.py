@@ -17,7 +17,7 @@ stationary over long runs.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -62,6 +62,39 @@ class UpdateStream:
             batch.append(self._reissue(obj, t))
             self._due[oid] = t + float(self._rng.integers(1, int(self.t_m) + 1))
         return batch
+
+    def by_timestamp(
+        self,
+        t_start: float = 1.0,
+        t_end: Optional[float] = None,
+        current: Optional[Mapping[int, MovingObject]] = None,
+        step: float = 1.0,
+    ) -> Iterator[Tuple[float, List[MovingObject]]]:
+        """Yield ``(t, batch)`` same-tick update groups, one per timestamp.
+
+        This is the group-commit feed: each batch holds every update due
+        at that timestamp (possibly empty), with ``t_ref == t``, exactly
+        as :meth:`updates_for` would emit them when driven tick by tick.
+        The stream tracks the evolving object versions itself (seeded
+        from the scenario, or from ``current`` when the caller's system
+        starts elsewhere), so consumers only need to apply the batches.
+        Unbounded when ``t_end`` is ``None`` — pair with ``islice``.
+        """
+        state: Dict[int, MovingObject] = (
+            dict(current)
+            if current is not None
+            else {
+                o.oid: o
+                for o in list(self.scenario.set_a) + list(self.scenario.set_b)
+            }
+        )
+        t = float(t_start)
+        while t_end is None or t <= t_end:
+            batch = self.updates_for(t, state)
+            for obj in batch:
+                state[obj.oid] = obj
+            yield t, batch
+            t += step
 
     def due_counts(self, t: float) -> int:
         """How many updates :meth:`updates_for` would emit at ``t``."""

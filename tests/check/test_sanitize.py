@@ -112,6 +112,9 @@ def store_with(intervals) -> JoinResultStore:
     store = JoinResultStore()
     store.add(JoinTriple(1, 2, TimeInterval(0.0, 1.0)))
     store._pairs[(1, 2)] = list(intervals)
+    # Keep the prune frontier consistent with the injected list so only
+    # the corruption under test is reported.
+    store._frontier = [(intervals[0].end, (1, 2))] if intervals else []
     return store
 
 
@@ -146,6 +149,16 @@ class TestResultStore:
         store = store_with([TimeInterval(0.0, 1.0)])
         store._pairs[(3, 4)] = [TimeInterval(0.0, 1.0)]
         assert "SC304" in codes(check_result_store(store))
+
+    def test_missing_frontier_entry_is_sc305(self):
+        store = store_with([TimeInterval(0.0, 2.0)])
+        store._frontier = []  # prune_expired would never see the pair
+        assert "SC305" in codes(check_result_store(store))
+
+    def test_stale_frontier_entries_are_tolerated(self):
+        store = store_with([TimeInterval(0.0, 2.0)])
+        store._frontier.append((0.5, (9, 9)))  # lazy leftovers are fine
+        assert check_result_store(store) == []
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,273 @@
+"""ShardedJoinEngine: bit-exactness, ghost membership, and rollups.
+
+The sharded engine must be an *implementation detail*: for every shard
+count and worker count its merged result store is bit-identical to the
+unsharded serial engine's, including while objects drift across stripe
+boundaries and get admitted to / evicted from shards mid-run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check import InvariantViolation, check_sharded_state
+from repro.core import ContinuousJoinEngine, JoinConfig
+from repro.geometry import Box
+from repro.objects import MovingObject
+from repro.par import SHARDABLE_ALGORITHMS, ShardedJoinEngine
+from repro.workloads import UpdateStream, make_workload
+
+T_M = 8.0
+STEPS = 5
+
+
+def snapshot(store):
+    """Exact (unrounded) store contents, order-normalized."""
+    return sorted(
+        (key, tuple((iv.start, iv.end) for iv in intervals))
+        for key, intervals in store._pairs.items()
+    )
+
+
+def scenario_for(seed: int, n: int = 40):
+    return make_workload(
+        n, "uniform", max_speed=3.0, object_size_pct=0.8, t_m=T_M, seed=seed
+    )
+
+
+def drive_both(algorithm, shards, workers, seed=19, sanitize=False):
+    """Run serial and sharded engines tick-by-tick off one update feed.
+
+    Returns per-tick (answer, merged snapshot) agreement evidence plus
+    the count of membership changes seen, so callers can assert the run
+    actually exercised cross-boundary movement.
+    """
+    scenario = scenario_for(seed)
+    config = JoinConfig(t_m=T_M, node_capacity=8, sanitize=sanitize)
+    serial = ContinuousJoinEngine(
+        scenario.set_a, scenario.set_b, algorithm, config
+    )
+    serial.run_initial_join()
+    sharded = ShardedJoinEngine(
+        scenario.set_a, scenario.set_b, algorithm, config,
+        shards=shards, workers=workers,
+    )
+    sharded.run_initial_join()
+    assert snapshot(serial._strategy.store) == snapshot(sharded.merged_store())
+
+    membership_changes = 0
+    pair_ticks = 0
+    stream = UpdateStream(scenario, seed=seed + 1)
+    for t, batch in stream.by_timestamp(t_start=1.0, t_end=float(STEPS)):
+        serial.tick(t)
+        sharded.tick(t)
+        before = {obj.oid: sharded._members[obj.oid] for obj in batch}
+        for obj in batch:
+            serial.apply_update(obj)
+        sharded.apply_updates(batch)
+        membership_changes += sum(
+            1 for obj in batch if sharded._members[obj.oid] != before[obj.oid]
+        )
+        want = serial.result_at(t)
+        assert sharded.result_at(t) == want, (algorithm, shards, workers, t)
+        assert snapshot(serial._strategy.store) == snapshot(
+            sharded.merged_store()
+        ), (algorithm, shards, workers, t)
+        pair_ticks += bool(want)
+    assert pair_ticks > 0, "vacuous run: the answer was always empty"
+    sharded.close()
+    return membership_changes
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("algorithm", SHARDABLE_ALGORITHMS)
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_matches_serial_engine(self, algorithm, shards):
+        drive_both(algorithm, shards, workers=0)
+
+    @pytest.mark.parametrize("algorithm", SHARDABLE_ALGORITHMS)
+    def test_boundary_crossers_keep_exactness(self, algorithm):
+        """The run must include genuine shard-membership changes."""
+        changes = drive_both(algorithm, shards=4, workers=0, seed=37)
+        assert changes > 0, "no object ever crossed a stripe boundary"
+
+    def test_sanitized_run_stays_clean(self):
+        drive_both("mtb", shards=3, workers=0, sanitize=True)
+
+    def test_pool_backend_matches_serial_backend(self):
+        drive_both("mtb", shards=4, workers=2)
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_fused_step_equals_tick_apply_result(self, workers):
+        """step(t, batch) == tick(t); apply_updates(batch); result_at(t)."""
+        scenario = scenario_for(19)
+        config = JoinConfig(t_m=T_M, node_capacity=8)
+        split = ShardedJoinEngine(
+            scenario.set_a, scenario.set_b, "mtb", config,
+            shards=4, workers=workers,
+        )
+        split.run_initial_join()
+        fused = ShardedJoinEngine(
+            scenario.set_a, scenario.set_b, "mtb", config,
+            shards=4, workers=workers,
+        )
+        fused.run_initial_join()
+        stream = UpdateStream(scenario, seed=20)
+        pair_ticks = 0
+        for t, batch in stream.by_timestamp(t_start=1.0, t_end=float(STEPS)):
+            split.tick(t)
+            split.apply_updates(batch)
+            want = split.result_at(t)
+            assert fused.step(t, batch) == want, (workers, t)
+            assert snapshot(fused.merged_store()) == snapshot(
+                split.merged_store()
+            ), (workers, t)
+            pair_ticks += bool(want)
+        assert pair_ticks > 0, "vacuous run: the answer was always empty"
+        split.close()
+        fused.close()
+
+    def test_step_rejects_time_going_backwards(self):
+        scenario = scenario_for(19, n=8)
+        config = JoinConfig(t_m=T_M, node_capacity=8)
+        with ShardedJoinEngine(
+            scenario.set_a, scenario.set_b, "mtb", config, shards=2
+        ) as engine:
+            engine.run_initial_join()
+            engine.step(2.0, [])
+            with pytest.raises(ValueError):
+                engine.step(1.0, [])
+
+    def test_prune_drops_the_same_pairs_as_serial(self):
+        scenario = scenario_for(29)
+        config = JoinConfig(t_m=T_M, node_capacity=8)
+        serial = ContinuousJoinEngine(
+            scenario.set_a, scenario.set_b, "tc", config
+        )
+        serial.run_initial_join()
+        with ShardedJoinEngine(
+            scenario.set_a, scenario.set_b, "tc", config, shards=3
+        ) as sharded:
+            sharded.run_initial_join()
+            assert len(sharded.merged_store()) > 0
+            serial.tick(T_M / 2)
+            sharded.tick(T_M / 2)
+            assert serial.prune_expired() == sharded.prune_expired()
+            assert snapshot(serial._strategy.store) == snapshot(
+                sharded.merged_store()
+            )
+
+
+class TestConstruction:
+    def test_unshardable_algorithms_rejected(self):
+        scenario = scenario_for(3, n=6)
+        for algorithm in ("naive", "etp"):
+            with pytest.raises(ValueError):
+                ShardedJoinEngine(scenario.set_a, scenario.set_b, algorithm)
+
+    def test_shared_oids_rejected(self):
+        objs = [MovingObject(1, Box(0, 1, 0, 1), 0.0, 0.0, 0.0)]
+        with pytest.raises(ValueError):
+            ShardedJoinEngine(objs, list(objs), "tc")
+
+    def test_unknown_update_rejected(self):
+        scenario = scenario_for(4, n=6)
+        engine = ShardedJoinEngine(scenario.set_a, scenario.set_b, "tc")
+        engine.run_initial_join()
+        with pytest.raises(KeyError):
+            engine.apply_update(MovingObject(9999, Box(0, 1, 0, 1), 0, 0, 0.0))
+
+
+class TestRollups:
+    def test_cost_rollup_sums_shard_costs(self):
+        scenario = scenario_for(7)
+        engine = ShardedJoinEngine(scenario.set_a, scenario.set_b, "mtb",
+                                   JoinConfig(t_m=T_M), shards=3)
+        engine.run_initial_join()
+        total = engine.cost_rollup()
+        per_shard = engine.shard_costs()
+        assert len(per_shard) == 3
+        assert total.pair_tests == sum(
+            s.pair_tests for s in per_shard.values()
+        )
+        assert total.pair_tests > 0
+
+    def test_obs_rollup_merges_shard_recordings(self):
+        scenario = scenario_for(8)
+        engine = ShardedJoinEngine(scenario.set_a, scenario.set_b, "mtb",
+                                   JoinConfig(t_m=T_M, obs=True), shards=2)
+        engine.run_initial_join()
+        rollup = engine.obs_rollup()
+        assert rollup["format"] == "repro.obs/rollup"
+        assert rollup["meta"]["shards"] == 2
+        assert len(rollup["shards"]) == 2
+        for name, value in rollup["totals"].items():
+            assert value == sum(
+                s["recording"]["totals"].get(name, 0)
+                for s in rollup["shards"]
+            ), name
+
+    def test_obs_rollup_is_none_without_obs(self):
+        scenario = scenario_for(8, n=6)
+        engine = ShardedJoinEngine(scenario.set_a, scenario.set_b, "tc")
+        assert engine.obs_rollup() is None
+
+
+class TestExportAndSanitizer:
+    @pytest.fixture()
+    def colocated(self):
+        """Two static, overlapping objects resident on *both* shards."""
+        a = [MovingObject(1, Box(9.0, 11.5, 0.0, 2.0), 0.0, 0.0, 0.0)]
+        b = [MovingObject(100, Box(9.5, 11.2, 1.0, 3.0), 0.0, 0.0, 0.0)]
+        engine = ShardedJoinEngine(a, b, "tc", JoinConfig(t_m=2.0),
+                                   shards=2, axis=0)
+        engine.run_initial_join()
+        return engine
+
+    def test_export_state_survives_json(self, colocated):
+        state = json.loads(json.dumps(colocated.export_state()))
+        assert state["format"] == "repro.par/1"
+        assert check_sharded_state(state) == []
+
+    def test_pair_is_stored_on_both_shards(self, colocated):
+        dumps = colocated.store_dumps()
+        holders = [sid for sid, rows in dumps.items() if rows]
+        assert holders == [0, 1]
+        assert dumps[0] == dumps[1]
+
+    def test_sc401_on_broken_cuts(self, colocated):
+        state = colocated.export_state()
+        state["cuts"] = [5.0, 5.0]
+        codes = {f.code for f in check_sharded_state(state)}
+        assert "SC401" in codes
+
+    def test_sc401_on_missing_shard(self, colocated):
+        state = colocated.export_state()
+        state["shards"] = state["shards"][:1]
+        codes = {f.code for f in check_sharded_state(state)}
+        assert codes == {"SC401"}
+
+    def test_sc402_on_wrong_membership(self, colocated):
+        state = colocated.export_state()
+        state["objects"][0]["members"] = [0]
+        codes = {f.code for f in check_sharded_state(state)}
+        assert "SC402" in codes
+
+    def test_sc402_on_missing_resident(self, colocated):
+        state = colocated.export_state()
+        state["shards"][1]["objects_a"] = []
+        codes = {f.code for f in check_sharded_state(state)}
+        assert "SC402" in codes
+
+    def test_sc403_on_diverged_copy(self, colocated):
+        state = colocated.export_state()
+        state["shards"][1]["store"][0][1][0][1] += 0.25
+        codes = {f.code for f in check_sharded_state(state)}
+        assert codes == {"SC403"}
+
+    def test_validate_raises_on_live_corruption(self, colocated):
+        colocated._members[1] = (0,)
+        with pytest.raises(InvariantViolation):
+            colocated.validate()

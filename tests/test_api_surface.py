@@ -13,6 +13,7 @@ MODULES = [
     "repro.join",
     "repro.core",
     "repro.check",
+    "repro.par",
     "repro.workloads",
     "repro.queries",
     "repro.refine",
