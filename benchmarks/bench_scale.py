@@ -1,0 +1,250 @@
+"""Scaling study: the columnar engine from 1k to 100k objects per side.
+
+Standalone script (not a pytest-benchmark figure).  For each dataset
+size ``n`` it builds a constant-density uniform workload (space side
+grows as ``1000 * sqrt(n/1000)``, so the expected join selectivity per
+object is size-invariant), runs the columnar engine through a fixed
+number of maintenance ticks fed by the vectorized update stream, and
+records build / initial-join / tick throughput to ``BENCH_scale.json``
+at the repo root.
+
+At the sizes where the serial seed engine is still practical (1k, 10k)
+the same pre-materialized update batches are replayed through the
+object-path :class:`~repro.core.engine.ContinuousJoinEngine` group
+commit, so the speedup column compares identical work.
+
+Acceptance floors (the columnar-engine PR criteria; the script exits
+non-zero when missed):
+
+- at n=10k the columnar engine sustains >= ``COLUMNAR_FLOOR``x the
+  seed engine's tick throughput;
+- at n=100k the mean maintenance tick stays under
+  ``TICK_FLOOR_100K_S`` seconds.
+
+The 1M-per-side cell is best-effort: enabled with ``REPRO_SCALE_1M=1``,
+recorded but never gated.  ``REPRO_SCALE_SMOKE=1`` runs only the n=10k
+cell plus its seed baseline (the CI ``scale`` job).  Peak RSS is
+sampled after the n=100k cell (satellite of the ``__slots__`` pass).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import resource
+import sys
+from pathlib import Path
+
+from repro.core import ColumnarJoinEngine, ContinuousJoinEngine, JoinConfig
+from repro.metrics import monotonic_clock
+from repro.workloads import UpdateStream, VectorUpdateStream, make_workload_arrays
+
+SIZES = [1_000, 10_000, 100_000]
+SEED_BASELINE_SIZES = {1_000, 10_000}
+STEPS = 6
+STEPS_1M = 3
+T_M = 60.0
+MAX_SPEED = 2.0
+OBJECT_SIZE_PCT = 0.1
+SEED = 20080407  # ICDE 2008
+ALGORITHM = "tc"
+
+COLUMNAR_FLOOR = 3.0  # x seed tick throughput at n=10k
+TICK_FLOOR_100K_S = 5.0  # mean maintenance tick ceiling at n=100k
+
+
+def space_for(n: int) -> float:
+    """Constant-density space side: 1000 at n=1k, growing with sqrt(n)."""
+    return 1000.0 * math.sqrt(n / 1000.0)
+
+
+def workload(n: int):
+    return make_workload_arrays(
+        n,
+        "uniform",
+        space_size=space_for(n),
+        max_speed=MAX_SPEED,
+        object_size_pct=OBJECT_SIZE_PCT,
+        t_m=T_M,
+        seed=SEED,
+    )
+
+
+def peak_rss_mb() -> float:
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return usage / 1024.0  # linux reports KiB
+
+
+def run_columnar(n: int, steps: int) -> dict:
+    arrays = workload(n)
+    t0 = monotonic_clock()
+    engine = ColumnarJoinEngine(
+        arrays.columns_a(),
+        arrays.columns_b(),
+        algorithm=ALGORITHM,
+        config=JoinConfig(t_m=T_M),
+    )
+    build_s = monotonic_clock() - t0
+    t0 = monotonic_clock()
+    engine.run_initial_join()
+    initial_s = monotonic_clock() - t0
+    initial_pairs = len(engine.store)
+    stream = VectorUpdateStream(arrays, seed=SEED + 1)
+    t0 = monotonic_clock()
+    for step in range(1, steps + 1):
+        t = float(step)
+        engine.tick(t)
+        upd_a, upd_b = stream.updates_at(t)
+        engine.apply_update_columns(upd_a, upd_b)
+        engine.result_at(t)
+    tick_s = monotonic_clock() - t0
+    return {
+        "n_per_side": n,
+        "engine": "columnar",
+        "steps": steps,
+        "updates": engine.update_count,
+        "build_s": round(build_s, 4),
+        "initial_join_s": round(initial_s, 4),
+        "initial_pairs": initial_pairs,
+        "tick_loop_s": round(tick_s, 4),
+        "tick_mean_s": round(tick_s / steps, 4),
+        "ticks_per_s": round(steps / tick_s, 3),
+        "updates_per_s": round(engine.update_count / tick_s, 1),
+    }
+
+
+def run_seed_baseline(n: int, steps: int) -> dict:
+    """The object-path group commit replaying the *same* update batches."""
+    arrays = workload(n)
+    scenario = arrays.to_scenario()
+    stream = VectorUpdateStream(arrays, seed=SEED + 1)
+    ticks = []
+    for step in range(1, steps + 1):
+        upd_a, upd_b = stream.updates_at(float(step))
+        ticks.append((float(step), upd_a.objects() + upd_b.objects()))
+    t0 = monotonic_clock()
+    engine = ContinuousJoinEngine.create(
+        scenario.set_a,
+        scenario.set_b,
+        algorithm=ALGORITHM,
+        config=JoinConfig(t_m=T_M),
+    )
+    build_s = monotonic_clock() - t0
+    t0 = monotonic_clock()
+    engine.run_initial_join()
+    initial_s = monotonic_clock() - t0
+    initial_pairs = len(engine._strategy.store)
+    t0 = monotonic_clock()
+    for t, batch in ticks:
+        engine.tick(t)
+        engine.apply_updates(batch)
+        engine.result_at(t)
+    tick_s = monotonic_clock() - t0
+    return {
+        "n_per_side": n,
+        "engine": "seed",
+        "steps": steps,
+        "updates": engine.update_count,
+        "build_s": round(build_s, 4),
+        "initial_join_s": round(initial_s, 4),
+        "initial_pairs": initial_pairs,
+        "tick_loop_s": round(tick_s, 4),
+        "tick_mean_s": round(tick_s / steps, 4),
+        "ticks_per_s": round(steps / tick_s, 3),
+        "updates_per_s": round(engine.update_count / tick_s, 1),
+    }
+
+
+def main() -> int:
+    smoke = os.environ.get("REPRO_SCALE_SMOKE") == "1"
+    with_1m = os.environ.get("REPRO_SCALE_1M") == "1"
+    sizes = [10_000] if smoke else list(SIZES)
+
+    rows = []
+    rss_100k_mb = None
+    for n in sizes:
+        print(f"== n = {n:,} per side (space {space_for(n):.0f}) ==")
+        row = run_columnar(n, STEPS)
+        rows.append(row)
+        print(
+            f"  columnar: build {row['build_s']:.2f}s, "
+            f"initial {row['initial_join_s']:.2f}s ({row['initial_pairs']} pairs), "
+            f"tick {row['tick_mean_s']:.3f}s ({row['updates_per_s']:.0f} upd/s)"
+        )
+        if n == 100_000:
+            rss_100k_mb = round(peak_rss_mb(), 1)
+            print(f"  peak RSS after 100k cell: {rss_100k_mb:.0f} MiB")
+        if n in SEED_BASELINE_SIZES:
+            base = run_seed_baseline(n, STEPS)
+            rows.append(base)
+            speedup = base["tick_mean_s"] / row["tick_mean_s"]
+            row["speedup_vs_seed"] = round(speedup, 2)
+            print(
+                f"  seed:     build {base['build_s']:.2f}s, "
+                f"initial {base['initial_join_s']:.2f}s, "
+                f"tick {base['tick_mean_s']:.3f}s -> columnar {speedup:.1f}x"
+            )
+
+    if with_1m:
+        print("== n = 1,000,000 per side (best effort) ==")
+        row = run_columnar(1_000_000, STEPS_1M)
+        row["best_effort"] = True
+        rows.append(row)
+        print(f"  columnar: tick {row['tick_mean_s']:.3f}s")
+
+    failures = []
+    by_cell = {(r["n_per_side"], r["engine"]): r for r in rows}
+    cell_10k = by_cell.get((10_000, "columnar"))
+    if cell_10k is not None and "speedup_vs_seed" in cell_10k:
+        if cell_10k["speedup_vs_seed"] < COLUMNAR_FLOOR:
+            failures.append(
+                f"columnar {cell_10k['speedup_vs_seed']:.2f}x seed at n=10k "
+                f"< {COLUMNAR_FLOOR}x floor"
+            )
+    cell_100k = by_cell.get((100_000, "columnar"))
+    if cell_100k is not None and cell_100k["tick_mean_s"] > TICK_FLOOR_100K_S:
+        failures.append(
+            f"mean tick {cell_100k['tick_mean_s']:.2f}s at n=100k "
+            f"> {TICK_FLOOR_100K_S}s floor"
+        )
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+    out.write_text(
+        json.dumps(
+            {
+                "description": "columnar engine scaling, constant density",
+                "workload": {
+                    "distribution": "uniform",
+                    "algorithm": ALGORITHM,
+                    "t_m": T_M,
+                    "max_speed": MAX_SPEED,
+                    "object_size_pct": OBJECT_SIZE_PCT,
+                    "space_rule": "1000 * sqrt(n / 1000)",
+                    "seed": SEED,
+                },
+                "smoke": smoke,
+                "floors": {
+                    "columnar_vs_seed_10k": COLUMNAR_FLOOR,
+                    "tick_mean_s_100k": TICK_FLOOR_100K_S,
+                },
+                "peak_rss_mb_100k": rss_100k_mb,
+                "results": rows,
+                "passed": not failures,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"\nwrote {out}")
+    for failure in failures:
+        print(f"FLOOR MISSED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

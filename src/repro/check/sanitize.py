@@ -48,8 +48,10 @@ __all__ = [
     "check_mtb_forest",
     "check_result_store",
     "check_sharded_state",
+    "check_column_store",
     "check_index",
     "sanitize_engine",
+    "sanitize_columnar_engine",
     "raise_on_findings",
 ]
 
@@ -410,6 +412,105 @@ def check_sharded_state(
                     f"copy {prior[1]}",
                     where,
                 ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Columnar store / engine
+# ----------------------------------------------------------------------
+def check_column_store(store, t_now: float, label: str = "columns") -> List[Finding]:
+    """Invariants of one :class:`~repro.core.columns.ColumnStore` (SC501–SC503).
+
+    * **SC501** — the id ↔ row map is a bijection onto the dense live
+      prefix: every id files exactly one row in ``[0, n)``, every live
+      row's stored id points back at it.
+    * **SC502** — the incrementally maintained pre-shifted bounds are
+      *bit-identical* to a fresh recompute (``slo = mlo - vlo * tref``);
+      any drift here would silently break the kernels' exactness
+      contract.
+    * **SC503** — reference times never run ahead of the engine clock
+      and all live values are finite.
+    """
+    import numpy as np
+
+    findings: List[Finding] = []
+    n = store.n
+    row_of = store._row_of
+    if len(row_of) != n:
+        findings.append(Finding(
+            "SC501", f"row map holds {len(row_of)} ids for {n} live rows", label
+        ))
+    for oid, row in row_of.items():
+        if not 0 <= row < n:
+            findings.append(Finding(
+                "SC501", f"id {oid} filed at row {row} outside [0, {n})", label
+            ))
+        elif int(store.oid[row]) != oid:
+            findings.append(Finding(
+                "SC501",
+                f"row {row} stores id {int(store.oid[row])}, map says {oid}",
+                label,
+            ))
+    live = slice(0, n)
+    # Exact equality on purpose: the incremental shift must be the very
+    # bits a fresh pack would produce (see the kernels' exactness
+    # contract).
+    expect_slo = store.mlo[:, live] - store.vlo[:, live] * store.tref[live]
+    expect_shi = store.mhi[:, live] - store.vhi[:, live] * store.tref[live]
+    if not np.array_equal(store.slo[:, live], expect_slo):  # noqa: RC001
+        findings.append(Finding(
+            "SC502", "pre-shifted lower bounds drifted from recompute", label
+        ))
+    if not np.array_equal(store.shi[:, live], expect_shi):  # noqa: RC001
+        findings.append(Finding(
+            "SC502", "pre-shifted upper bounds drifted from recompute", label
+        ))
+    if n:
+        if float(store.tref[live].max()) > t_now:
+            findings.append(Finding(
+                "SC503",
+                f"reference time {float(store.tref[live].max()):g} runs ahead "
+                f"of the clock t={t_now:g}",
+                label,
+            ))
+        for name in ("mlo", "mhi", "vlo", "vhi"):
+            if not np.isfinite(getattr(store, name)[:, live]).all():
+                findings.append(Finding(
+                    "SC503", f"non-finite values in column {name}", label
+                ))
+    return findings
+
+
+def sanitize_columnar_engine(engine) -> List[Finding]:
+    """Check everything a columnar engine maintains.
+
+    Both column stores (SC501–SC503) plus the shared result-store
+    invariants (SC301–SC305), with the same Theorem-1/2 interval bound
+    the object engine is audited against: per-object anchors are the
+    reference times (TC) or their bucket ends (MTB), straight from the
+    live ``tref`` column.
+    """
+    t = engine.now
+    findings: List[Finding] = []
+    findings.extend(check_column_store(engine.columns_a, t, label="columns_a"))
+    findings.extend(check_column_store(engine.columns_b, t, label="columns_b"))
+    anchors: Dict[int, float] = {}
+    for store in (engine.columns_a, engine.columns_b):
+        oids = store.oids.tolist()
+        if engine.algorithm == "mtb":
+            length = engine.config.bucket_length
+            ends = (
+                (store.bucket_keys(length) + 1).astype(float) * length
+            ).tolist()
+        else:
+            ends = store.tref[: store.n].tolist()
+        anchors.update(zip(oids, ends))
+    findings.extend(check_result_store(
+        engine.store,
+        t_m=engine.config.t_m,
+        anchors=anchors,
+        floor=getattr(engine, "start_time", None),
+    ))
     return findings
 
 

@@ -1,5 +1,7 @@
 """The continuous-join core: engine, result store, clock, config."""
 
+from .columnar import COLUMNAR_ALGORITHMS, ColumnarJoinEngine
+from .columns import ColumnStore, ObjectsView, UpdateColumns, columns_from_objects
 from .config import JoinConfig
 from .engine import ALGORITHMS, ContinuousJoinEngine
 from .events import ChangeMonitor, ResultDelta
@@ -11,7 +13,13 @@ __all__ = [
     "JoinConfig",
     "ContinuousJoinEngine",
     "ContinuousSelfJoinEngine",
+    "ColumnarJoinEngine",
+    "ColumnStore",
+    "UpdateColumns",
+    "ObjectsView",
+    "columns_from_objects",
     "ALGORITHMS",
+    "COLUMNAR_ALGORITHMS",
     "JoinResultStore",
     "SimulationDriver",
     "StepStats",

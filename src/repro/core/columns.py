@@ -1,0 +1,391 @@
+"""Columnar structure-of-arrays object store (the scaling substrate).
+
+PR 1's :class:`~repro.geometry.kernels.KineticBatch` proved the
+structure-of-arrays shape at the tree leaves; this module extends it to
+a whole dataset.  A :class:`ColumnStore` holds every object of one
+dataset as contiguous NumPy columns — MBR bounds, velocity bounds,
+reference times, object ids — plus an id ↔ row map, and is the single
+source of truth the vectorized engine, the probe kernels and the
+benchmarks all share.  The per-tick hot path then never touches a
+Python object per moving object: updates land as array writes, probes
+run over zero-copy :class:`KineticBatch` views of the live columns.
+
+Layout
+------
+Rows ``0..n-1`` are live, stored in a dense prefix of capacity-sized
+arrays (amortized-doubling growth, swap-with-last eviction).  Arrays
+are indexed ``[dim, row]`` exactly like :class:`KineticBatch`, and the
+pre-shifted bounds ``slo = mlo - vlo * tref`` / ``shi = mhi - vhi *
+tref`` are maintained *incrementally* on every write with the same
+elementwise expression :class:`KineticBatch` uses, so a view of the
+columns is bit-identical to a batch packed fresh from the objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence
+
+import numpy as np
+
+from ..geometry import NDIMS, Box, KineticBatch, KineticBox
+from ..objects import MovingObject
+
+__all__ = ["ColumnStore", "UpdateColumns", "ObjectsView", "columns_from_objects"]
+
+_MIN_CAPACITY = 8
+
+
+@dataclass(slots=True)
+class UpdateColumns:
+    """A batch of object states as columns (the array-native update unit).
+
+    The wire format between the vectorized update stream, the engine and
+    the :class:`ColumnStore`: ``k`` objects with ``(2, k)`` bound arrays
+    and ``(k,)`` id / reference-time arrays.  Velocity *bounds* are
+    carried (not just rigid velocities) so the layout round-trips any
+    :class:`~repro.geometry.KineticBox`.
+    """
+
+    oid: np.ndarray
+    mlo: np.ndarray
+    mhi: np.ndarray
+    vlo: np.ndarray
+    vhi: np.ndarray
+    tref: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.oid.shape[0])
+
+    @classmethod
+    def empty(cls) -> "UpdateColumns":
+        """A zero-length batch."""
+        return cls(
+            np.empty(0, dtype=np.int64),
+            np.empty((NDIMS, 0)),
+            np.empty((NDIMS, 0)),
+            np.empty((NDIMS, 0)),
+            np.empty((NDIMS, 0)),
+            np.empty(0),
+        )
+
+    @classmethod
+    def from_objects(cls, objs: Sequence[MovingObject]) -> "UpdateColumns":
+        """Pack a sequence of objects (order preserved)."""
+        return columns_from_objects(objs)
+
+    def objects(self) -> List[MovingObject]:
+        """Materialize the batch as :class:`MovingObject` instances."""
+        return [
+            MovingObject(
+                int(self.oid[i]),
+                Box(
+                    float(self.mlo[0, i]),
+                    float(self.mhi[0, i]),
+                    float(self.mlo[1, i]),
+                    float(self.mhi[1, i]),
+                ),
+                float(self.vlo[0, i]),
+                float(self.vlo[1, i]),
+                t_ref=float(self.tref[i]),
+            )
+            for i in range(len(self))
+        ]
+
+
+def columns_from_objects(objs: Sequence[MovingObject]) -> UpdateColumns:
+    """Pack moving objects into an :class:`UpdateColumns` batch."""
+    k = len(objs)
+    out = UpdateColumns(
+        np.empty(k, dtype=np.int64),
+        np.empty((NDIMS, k)),
+        np.empty((NDIMS, k)),
+        np.empty((NDIMS, k)),
+        np.empty((NDIMS, k)),
+        np.empty(k),
+    )
+    for i, obj in enumerate(objs):
+        kb = obj.kbox
+        out.oid[i] = obj.oid
+        out.tref[i] = kb.t_ref
+        for d in range(NDIMS):
+            out.mlo[d, i] = kb.mbr.lo(d)
+            out.mhi[d, i] = kb.mbr.hi(d)
+            out.vlo[d, i] = kb.vbr.lo(d)
+            out.vhi[d, i] = kb.vbr.hi(d)
+    return out
+
+
+class ColumnStore:
+    """One dataset as contiguous columns with an id ↔ row map.
+
+    >>> from repro.geometry import Box
+    >>> store = ColumnStore()
+    >>> store.add(columns_from_objects(
+    ...     [MovingObject(7, Box(0, 1, 0, 1), 0.5, -0.25, t_ref=0.0)]
+    ... ))
+    array([0])
+    >>> store.row_of(7), len(store)
+    (0, 1)
+    """
+
+    __slots__ = (
+        "n",
+        "mlo",
+        "mhi",
+        "vlo",
+        "vhi",
+        "tref",
+        "oid",
+        "slo",
+        "shi",
+        "_row_of",
+    )
+
+    def __init__(self, capacity: int = _MIN_CAPACITY):
+        cap = max(int(capacity), _MIN_CAPACITY)
+        self.n = 0
+        self.mlo = np.zeros((NDIMS, cap))
+        self.mhi = np.zeros((NDIMS, cap))
+        self.vlo = np.zeros((NDIMS, cap))
+        self.vhi = np.zeros((NDIMS, cap))
+        self.tref = np.zeros(cap)
+        self.slo = np.zeros((NDIMS, cap))
+        self.shi = np.zeros((NDIMS, cap))
+        self.oid = np.zeros(cap, dtype=np.int64)
+        self._row_of: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_objects(cls, objs: Iterable[MovingObject]) -> "ColumnStore":
+        """Build a store holding every object of the iterable."""
+        cols = columns_from_objects(list(objs))
+        store = cls(capacity=len(cols))
+        store.add(cols)
+        return store
+
+    @classmethod
+    def from_columns(cls, cols: UpdateColumns) -> "ColumnStore":
+        """Build a store from a pre-packed column batch."""
+        store = cls(capacity=len(cols))
+        store.add(cols)
+        return store
+
+    # ------------------------------------------------------------------
+    # Mutation (all vectorized over the batch)
+    # ------------------------------------------------------------------
+    def add(self, cols: UpdateColumns) -> np.ndarray:
+        """Append new objects; returns their row indices.
+
+        Ids must be fresh — updating an existing object goes through
+        :meth:`set_rows` (or :meth:`apply`), which overwrites in place.
+        """
+        k = len(cols)
+        if k == 0:
+            return np.empty(0, dtype=np.int64)
+        self._ensure(k)
+        rows = np.arange(self.n, self.n + k, dtype=np.int64)
+        row_of = self._row_of
+        base = self.n
+        for i, o in enumerate(cols.oid.tolist()):
+            if o in row_of:
+                raise ValueError(f"object {o} already stored")
+            row_of[o] = base + i
+        self.oid[rows] = cols.oid
+        self._write(rows, cols)
+        self.n += k
+        return rows
+
+    def set_rows(self, rows: np.ndarray, cols: UpdateColumns) -> None:
+        """Overwrite the state of existing rows (ids must not change)."""
+        self._write(rows, cols)
+
+    def apply(self, cols: UpdateColumns) -> np.ndarray:
+        """Overwrite existing objects by id; returns their rows."""
+        rows = self.rows_of(cols.oid)
+        self._write(rows, cols)
+        return rows
+
+    def remove(self, oids: Iterable[int]) -> None:
+        """Evict objects by id (swap-with-last keeps the prefix dense)."""
+        row_of = self._row_of
+        for o in oids:
+            o = int(o)
+            row = row_of.pop(o)
+            last = self.n - 1
+            if row != last:
+                for arr in (self.mlo, self.mhi, self.vlo, self.vhi, self.slo, self.shi):
+                    arr[:, row] = arr[:, last]
+                self.tref[row] = self.tref[last]
+                moved = int(self.oid[last])
+                self.oid[row] = moved
+                row_of[moved] = row
+            self.n = last
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def row_of(self, oid: int) -> int:
+        """Row index currently holding ``oid``."""
+        return self._row_of[oid]
+
+    def rows_of(self, oids: Iterable[int]) -> np.ndarray:
+        """Row indices for a batch of ids (raises on unknown ids)."""
+        row_of = self._row_of
+        oid_list = oids.tolist() if isinstance(oids, np.ndarray) else list(oids)
+        return np.fromiter(
+            (row_of[o] for o in oid_list), dtype=np.int64, count=len(oid_list)
+        )
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._row_of
+
+    def __len__(self) -> int:
+        return self.n
+
+    @property
+    def oids(self) -> np.ndarray:
+        """Ids of the live rows, in row order (a view)."""
+        return self.oid[: self.n]
+
+    # ------------------------------------------------------------------
+    # Kinetic views
+    # ------------------------------------------------------------------
+    def batch(self) -> KineticBatch:
+        """Zero-copy :class:`KineticBatch` view of the live rows.
+
+        The view aliases the live columns (including the incrementally
+        maintained pre-shifted bounds, so nothing is recomputed); it is
+        valid until the next mutation.
+        """
+        n = self.n
+        return KineticBatch(
+            self.mlo[:, :n],
+            self.mhi[:, :n],
+            self.vlo[:, :n],
+            self.vhi[:, :n],
+            self.tref[:n],
+            self.slo[:, :n],
+            self.shi[:, :n],
+        )
+
+    def gather(self, rows: np.ndarray) -> KineticBatch:
+        """A :class:`KineticBatch` of selected rows (fancy-index copy)."""
+        return KineticBatch(
+            self.mlo[:, rows],
+            self.mhi[:, rows],
+            self.vlo[:, rows],
+            self.vhi[:, rows],
+            self.tref[rows],
+            self.slo[:, rows],
+            self.shi[:, rows],
+        )
+
+    def bucket_keys(self, bucket_length: float) -> np.ndarray:
+        """MTB bucket key of every live row (``floor(tref / length)``).
+
+        Matches :meth:`repro.index.mtb.MTBTree.bucket_key` elementwise
+        for the non-negative timestamps the simulation produces.
+        """
+        return np.floor_divide(self.tref[: self.n], bucket_length).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Object materialization (tests, compat shims — not the hot path)
+    # ------------------------------------------------------------------
+    def object_at(self, row: int) -> MovingObject:
+        """Reconstruct one row as a :class:`MovingObject`."""
+        return MovingObject(
+            int(self.oid[row]),
+            Box(
+                float(self.mlo[0, row]),
+                float(self.mhi[0, row]),
+                float(self.mlo[1, row]),
+                float(self.mhi[1, row]),
+            ),
+            float(self.vlo[0, row]),
+            float(self.vlo[1, row]),
+            t_ref=float(self.tref[row]),
+        )
+
+    def get(self, oid: int) -> MovingObject:
+        """Reconstruct the object stored under ``oid``."""
+        return self.object_at(self._row_of[oid])
+
+    def kbox_at(self, row: int) -> KineticBox:
+        """Reconstruct one row's kinetic box."""
+        return self.object_at(row).kbox
+
+    def objects(self) -> Iterator[MovingObject]:
+        """Iterate every live row as a :class:`MovingObject`."""
+        for row in range(self.n):
+            yield self.object_at(row)
+
+    def as_mapping(self) -> Mapping[int, MovingObject]:
+        """A live read-only ``oid -> MovingObject`` mapping view."""
+        return ObjectsView(self)
+
+    # ------------------------------------------------------------------
+    def _write(self, rows: np.ndarray, cols: UpdateColumns) -> None:
+        self.mlo[:, rows] = cols.mlo
+        self.mhi[:, rows] = cols.mhi
+        self.vlo[:, rows] = cols.vlo
+        self.vhi[:, rows] = cols.vhi
+        self.tref[rows] = cols.tref
+        # Same elementwise expression as KineticBatch.__init__, so the
+        # incrementally maintained shift stays bit-exact with a fresh
+        # pack of the same boxes.
+        self.slo[:, rows] = cols.mlo - cols.vlo * cols.tref
+        self.shi[:, rows] = cols.mhi - cols.vhi * cols.tref
+
+    def _ensure(self, extra: int) -> None:
+        cap = self.tref.shape[0]
+        need = self.n + extra
+        if need <= cap:
+            return
+        new_cap = max(cap * 2, need)
+        for name in ("mlo", "mhi", "vlo", "vhi", "slo", "shi"):
+            old = getattr(self, name)
+            grown = np.zeros((NDIMS, new_cap))
+            grown[:, : self.n] = old[:, : self.n]
+            setattr(self, name, grown)
+        tref = np.zeros(new_cap)
+        tref[: self.n] = self.tref[: self.n]
+        self.tref = tref
+        oid = np.zeros(new_cap, dtype=np.int64)
+        oid[: self.n] = self.oid[: self.n]
+        self.oid = oid
+
+    def __repr__(self) -> str:
+        return f"ColumnStore(n={self.n}, capacity={self.tref.shape[0]})"
+
+
+class ObjectsView(Mapping):
+    """Read-only ``oid -> MovingObject`` mapping over a :class:`ColumnStore`.
+
+    Reconstructs objects lazily on access, so legacy object-path
+    consumers (the scalar :class:`~repro.workloads.UpdateStream`, the
+    differential tests) can read a columnar engine's state without the
+    engine materializing a Python object per row per tick.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: ColumnStore):
+        self._store = store
+
+    def __getitem__(self, oid: int) -> MovingObject:
+        return self._store.get(oid)
+
+    def __contains__(self, oid: object) -> bool:
+        return oid in self._store
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._store.oids.tolist())
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __repr__(self) -> str:
+        return f"ObjectsView(n={len(self)})"

@@ -40,6 +40,13 @@ class JoinConfig:
     #: (:mod:`repro.geometry.kernels`).  Identical results either way;
     #: off forces the scalar reference path for ablations.
     use_kernels: bool = True
+    #: Route the columnar engine's hottest kernels (pair test, sweep
+    #: bounds, insertion costs) through the optional Numba backend
+    #: (:mod:`repro.geometry.compiled`).  The NumPy path is the
+    #: bit-exact oracle, so results are identical either way; silently
+    #: falls back to NumPy when Numba is not installed.  Also forced on
+    #: by the ``REPRO_COMPILE=1`` environment variable.
+    compile_kernels: bool = False
     #: Let :meth:`ContinuousJoinEngine.apply_updates` group-commit a
     #: same-timestamp batch (bulk index maintenance + one shared probe
     #: descent per dataset).  Results are bit-exact either way; off
@@ -62,6 +69,10 @@ class JoinConfig:
             object.__setattr__(self, "sanitize", True)
         if not self.obs and os.environ.get("REPRO_OBS", "") not in ("", "0"):
             object.__setattr__(self, "obs", True)
+        if not self.compile_kernels and os.environ.get(
+            "REPRO_COMPILE", ""
+        ) not in ("", "0"):
+            object.__setattr__(self, "compile_kernels", True)
         if self.space_size <= 0:
             raise ValueError("space_size must be positive")
         if self.t_m <= 0:

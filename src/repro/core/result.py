@@ -26,6 +26,12 @@ __all__ = ["JoinResultStore"]
 PairKey = Tuple[int, int]
 
 
+def _as_list(values) -> List:
+    """Sequence → plain list (``ndarray.tolist`` yields Python scalars)."""
+    tolist = getattr(values, "tolist", None)
+    return tolist() if tolist is not None else list(values)
+
+
 class JoinResultStore:
     """Pair → interval-list map with per-object invalidation.
 
@@ -37,6 +43,8 @@ class JoinResultStore:
     (:meth:`remove_object`, re-merges) simply leave stale entries behind
     to be skipped later.
     """
+
+    __slots__ = ("_pairs", "_by_oid", "_frontier")
 
     def __init__(self) -> None:
         self._pairs: Dict[PairKey, List[TimeInterval]] = {}
@@ -78,6 +86,38 @@ class JoinResultStore:
     def add_all(self, triples: Iterator[JoinTriple]) -> None:
         for triple in triples:
             self.add(triple)
+
+    def add_batch(self, a_oids, b_oids, starts, ends) -> None:
+        """Columnar :meth:`add`: four parallel arrays, one tight loop.
+
+        ``a_oids``/``b_oids``/``starts``/``ends`` are parallel sequences
+        (NumPy arrays or lists) describing one triple per position.  The
+        effect is exactly ``add(JoinTriple(a, b, TimeInterval(s, e)))``
+        per position, in order, without constructing the triples — this
+        is the append path the vectorized engine feeds from its sweep
+        kernels, where per-pair attribute lookups would dominate.
+        """
+        pairs = self._pairs
+        by_oid = self._by_oid
+        frontier = self._frontier
+        push = heapq.heappush
+        for a, b, s, e in zip(
+            _as_list(a_oids), _as_list(b_oids), _as_list(starts), _as_list(ends)
+        ):
+            key = (a, b)
+            intervals = pairs.get(key)
+            if intervals is None:
+                pairs[key] = [TimeInterval(s, e)]
+                by_oid.setdefault(a, set()).add(key)
+                by_oid.setdefault(b, set()).add(key)
+                push(frontier, (e, key))
+            elif s > intervals[-1].end + _MERGE_TOL:
+                intervals.append(TimeInterval(s, e))
+            else:
+                intervals.append(TimeInterval(s, e))
+                merged = merge_intervals(intervals)
+                pairs[key] = merged
+                push(frontier, (merged[0].end, key))
 
     def remove_object(self, oid: int) -> int:
         """Drop every pair involving ``oid``; returns how many."""

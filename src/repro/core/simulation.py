@@ -54,17 +54,31 @@ class SimulationDriver:
         t = engine.now + 1.0
         before = engine.tracker.snapshot()
         engine.tick(t)
-        current = {**engine.objects_a, **engine.objects_b}
-        updates = self.stream.updates_for(t, current)
-        if self.batched and hasattr(engine, "apply_updates"):
-            engine.apply_updates(updates)
+        if self._columnar_fast_path():
+            # Array fast path: the stream hands over column batches and
+            # the engine consumes them without materializing objects.
+            upd_a, upd_b = self.stream.updates_at(t)
+            n_updates = len(upd_a) + len(upd_b)
+            engine.apply_update_columns(upd_a, upd_b)
         else:
-            for obj in updates:
-                engine.apply_update(obj)
+            current = {**engine.objects_a, **engine.objects_b}
+            updates = self.stream.updates_for(t, current)
+            n_updates = len(updates)
+            if self.batched and hasattr(engine, "apply_updates"):
+                engine.apply_updates(updates)
+            else:
+                for obj in updates:
+                    engine.apply_update(obj)
         cost = engine.tracker.snapshot() - before
-        stats = StepStats(t, len(updates), cost, len(engine.result_at(t)))
+        stats = StepStats(t, n_updates, cost, len(engine.result_at(t)))
         self.history.append(stats)
         return stats
+
+    def _columnar_fast_path(self) -> bool:
+        """Stream emits column batches and the engine accepts them."""
+        return hasattr(self.stream, "updates_at") and hasattr(
+            self.engine, "apply_update_columns"
+        )
 
     def run(
         self,

@@ -1,0 +1,274 @@
+"""Optional Numba-compiled kernels for the three hottest batch paths.
+
+The NumPy kernels in :mod:`repro.geometry.kernels` are the *oracle*:
+bit-exact with the scalar reference and always available.  This module
+optionally compiles the three hottest of them — the gathered pair-window
+test, the sweep bounds, and the TPR insertion-cost grid — with Numba,
+behind :attr:`repro.core.JoinConfig.compile_kernels`.
+
+Oracle contract
+---------------
+The compiled kernels perform the *same IEEE-754 operations in the same
+order* as their NumPy counterparts (the division ``-c / m`` per
+constraint, sequential min/max clamps, the identical polynomial
+association in the cost integrals), so their outputs are required to be
+bit-identical — the parity suite (``tests/geometry/test_compiled.py``)
+asserts exact equality, not closeness, and runs wherever Numba is
+installed (the CI ``scale`` job; it auto-skips elsewhere).
+
+Fallback
+--------
+Numba is an *optional* dependency: when it is missing,
+:data:`HAVE_NUMBA` is false, :func:`get_backend` returns ``None`` and
+every consumer silently stays on the NumPy path.  Nothing in the
+default test or benchmark matrix requires it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .box import NDIMS
+from .constants import PAIR_TEST_EPS as _EPS
+from .interval import INF
+from .kernels import KineticBatch
+
+try:  # pragma: no cover - absent in the default environment
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the common, dependency-light case
+    numba = None  # type: ignore[assignment]
+    HAVE_NUMBA = False
+
+__all__ = ["HAVE_NUMBA", "CompiledBackend", "get_backend", "reference_backend"]
+
+_BACKEND: Optional["CompiledBackend"] = None
+_BACKEND_FAILED = False
+
+
+# ----------------------------------------------------------------------
+# Kernel bodies (plain Python; compiled by numba.njit when available).
+# Each mirrors its NumPy oracle operation-for-operation — see the module
+# docstring for why the loops are written exactly this way.
+# ----------------------------------------------------------------------
+def _pair_windows_impl(
+    a_slo, a_shi, a_vlo, a_vhi, b_slo, b_shi, b_vlo, b_vhi,
+    ia, jb, t0, t1, eps, inf,
+):  # pragma: no cover - compiled path, exercised by the parity suite
+    k = ia.shape[0]
+    lo = np.empty(k)
+    hi = np.empty(k)
+    ok = np.empty(k, dtype=np.bool_)
+    ndims = a_slo.shape[0]
+    for p in range(k):
+        i = ia[p]
+        j = jb[p]
+        w_lo = t0
+        w_hi = t1
+        good = True
+        for d in range(ndims):
+            # Constraint 1: a.lo(t) - b.hi(t) <= 0.
+            c = a_slo[d, i] - b_shi[d, j]
+            m = a_vlo[d, i] - b_vhi[d, j]
+            if m == 0.0:
+                if c > eps:
+                    good = False
+            elif m > 0.0:
+                root = -c / m
+                if root < w_hi:
+                    w_hi = root
+            else:
+                root = -c / m
+                if root > w_lo:
+                    w_lo = root
+            # Constraint 2: b.lo(t) - a.hi(t) <= 0.
+            c = b_slo[d, j] - a_shi[d, i]
+            m = b_vlo[d, j] - a_vhi[d, i]
+            if m == 0.0:
+                if c > eps:
+                    good = False
+            elif m > 0.0:
+                root = -c / m
+                if root < w_hi:
+                    w_hi = root
+            else:
+                root = -c / m
+                if root > w_lo:
+                    w_lo = root
+        if w_lo > w_hi or w_lo >= inf:
+            good = False
+        lo[p] = w_lo
+        hi[p] = w_hi
+        ok[p] = good
+    return lo, hi, ok
+
+
+def _sweep_bounds_impl(
+    mlo, mhi, vlo, vhi, tref, t0, t1, inf
+):  # pragma: no cover - compiled path, exercised by the parity suite
+    n = tref.shape[0]
+    lb = np.empty(n)
+    ub = np.empty(n)
+    if t1 == inf:
+        for i in range(n):
+            dt0 = t0 - tref[i]
+            lb[i] = mlo[i] + vlo[i] * dt0 if vlo[i] >= 0.0 else -inf
+            ub[i] = mhi[i] + vhi[i] * dt0 if vhi[i] <= 0.0 else inf
+        return lb, ub
+    for i in range(n):
+        dt0 = t0 - tref[i]
+        dt1 = t1 - tref[i]
+        lo_t0 = mlo[i] + vlo[i] * dt0
+        lo_t1 = mlo[i] + vlo[i] * dt1
+        hi_t0 = mhi[i] + vhi[i] * dt0
+        hi_t1 = mhi[i] + vhi[i] * dt1
+        lb[i] = lo_t0 if lo_t0 <= lo_t1 else lo_t1
+        ub[i] = hi_t0 if hi_t0 >= hi_t1 else hi_t1
+    return lb, ub
+
+
+def _insertion_costs_impl(
+    e_slo, e_shi, e_vlo, e_vhi, o_slo, o_shi, o_vlo, o_vhi, t0, t1
+):  # pragma: no cover - compiled path, exercised by the parity suite
+    n_e = e_slo.shape[1]
+    n_o = o_slo.shape[1]
+    horizon = t1 - t0
+    areas = np.empty(n_e)
+    enlargements = np.empty((n_e, n_o))
+    for i in range(n_e):
+        w0x = (e_shi[0, i] + e_vhi[0, i] * t0) - (e_slo[0, i] + e_vlo[0, i] * t0)
+        w0y = (e_shi[1, i] + e_vhi[1, i] * t0) - (e_slo[1, i] + e_vlo[1, i] * t0)
+        mx = e_vhi[0, i] - e_vlo[0, i]
+        my = e_vhi[1, i] - e_vlo[1, i]
+        areas[i] = (
+            w0x * w0y * horizon
+            + (w0x * my + w0y * mx) * (horizon * horizon) / 2.0
+            + mx * my * (horizon * horizon * horizon) / 3.0
+        )
+        for j in range(n_o):
+            u_w = np.empty(2)
+            u_m = np.empty(2)
+            for d in range(2):
+                e_lo = e_slo[d, i] + e_vlo[d, i] * t0
+                e_hi = e_shi[d, i] + e_vhi[d, i] * t0
+                o_lo = o_slo[d, j] + o_vlo[d, j] * t0
+                o_hi = o_shi[d, j] + o_vhi[d, j] * t0
+                hi_u = e_hi if e_hi >= o_hi else o_hi
+                lo_u = e_lo if e_lo <= o_lo else o_lo
+                u_w[d] = hi_u - lo_u
+                vhi_u = e_vhi[d, i] if e_vhi[d, i] >= o_vhi[d, j] else o_vhi[d, j]
+                vlo_u = e_vlo[d, i] if e_vlo[d, i] <= o_vlo[d, j] else o_vlo[d, j]
+                u_m[d] = vhi_u - vlo_u
+            union = (
+                u_w[0] * u_w[1] * horizon
+                + (u_w[0] * u_m[1] + u_w[1] * u_m[0]) * (horizon * horizon) / 2.0
+                + u_m[0] * u_m[1] * (horizon * horizon * horizon) / 3.0
+            )
+            enlargements[i, j] = union - areas[i]
+    return enlargements, areas
+
+
+class CompiledBackend:
+    """The compiled kernels behind one dispatchable facade.
+
+    Method signatures match the NumPy kernels they replace
+    (:func:`~repro.geometry.kernels._pair_windows` restricted to 1-D
+    index arrays, :func:`~repro.geometry.kernels.batch_sweep_bounds`,
+    :func:`~repro.geometry.kernels.batch_insertion_costs`), so
+    :func:`~repro.geometry.kernels.batch_sweep_join` and the columnar
+    engine can take either interchangeably.
+    """
+
+    def __init__(self, pair_windows_fn, sweep_bounds_fn, insertion_costs_fn):
+        self._pair_windows = pair_windows_fn
+        self._sweep_bounds = sweep_bounds_fn
+        self._insertion_costs = insertion_costs_fn
+
+    def pair_windows(
+        self,
+        batch_a: KineticBatch,
+        ia: np.ndarray,
+        batch_b: KineticBatch,
+        jb: np.ndarray,
+        t0: float,
+        t1: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gathered pair windows; ``ia``/``jb`` must be index arrays."""
+        return self._pair_windows(
+            batch_a.slo, batch_a.shi, batch_a.vlo, batch_a.vhi,
+            batch_b.slo, batch_b.shi, batch_b.vlo, batch_b.vhi,
+            np.ascontiguousarray(ia, dtype=np.int64),
+            np.ascontiguousarray(jb, dtype=np.int64),
+            float(t0), float(t1), _EPS, INF,
+        )
+
+    def sweep_bounds(
+        self, batch: KineticBatch, dim: int, t0: float, t1: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Compiled :func:`~repro.geometry.kernels.batch_sweep_bounds`."""
+        return self._sweep_bounds(
+            np.ascontiguousarray(batch.mlo[dim]),
+            np.ascontiguousarray(batch.mhi[dim]),
+            np.ascontiguousarray(batch.vlo[dim]),
+            np.ascontiguousarray(batch.vhi[dim]),
+            np.ascontiguousarray(batch.tref),
+            float(t0), float(t1), INF,
+        )
+
+    def insertion_costs(
+        self,
+        entries_batch: KineticBatch,
+        objs_batch: KineticBatch,
+        t0: float,
+        t1: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Compiled :func:`~repro.geometry.kernels.batch_insertion_costs`."""
+        return self._insertion_costs(
+            entries_batch.slo, entries_batch.shi,
+            entries_batch.vlo, entries_batch.vhi,
+            objs_batch.slo, objs_batch.shi, objs_batch.vlo, objs_batch.vhi,
+            float(t0), float(t1),
+        )
+
+
+def get_backend() -> Optional[CompiledBackend]:
+    """The process-wide compiled backend, or ``None`` without Numba.
+
+    Compilation happens lazily on first call (and is cached); a
+    compilation failure is remembered and degrades permanently to the
+    NumPy path rather than failing the caller.
+    """
+    global _BACKEND, _BACKEND_FAILED
+    if _BACKEND is not None:
+        return _BACKEND
+    if not HAVE_NUMBA or _BACKEND_FAILED:
+        return None
+    try:  # pragma: no cover - requires numba
+        njit = numba.njit(cache=True, fastmath=False)
+        _BACKEND = CompiledBackend(
+            njit(_pair_windows_impl),
+            njit(_sweep_bounds_impl),
+            njit(_insertion_costs_impl),
+        )
+    except Exception:  # pragma: no cover - degrade, never break the run
+        _BACKEND_FAILED = True
+        return None
+    return _BACKEND
+
+
+def reference_backend() -> CompiledBackend:
+    """The kernel bodies *uncompiled*, wrapped in the same facade.
+
+    Lets the parity suite (and any environment without Numba) exercise
+    the exact loop bodies the compiled path runs, so the oracle contract
+    is testable everywhere even though only CI compiles them.
+    """
+    return CompiledBackend(
+        _pair_windows_impl, _sweep_bounds_impl, _insertion_costs_impl
+    )
+
+
+assert NDIMS == 2, "compiled kernels are specialized to the planar case"

@@ -54,6 +54,7 @@ __all__ = [
     "batch_sweep_bounds",
     "batch_select_sweep_dimension",
     "batch_ps_intersection",
+    "batch_sweep_join",
     "batch_all_pairs_intersection",
     "batch_integrated_areas",
     "batch_insertion_costs",
@@ -339,6 +340,121 @@ def batch_select_sweep_dimension(batch_a: KineticBatch, batch_b: KineticBatch) -
     return int(np.argmin(totals))
 
 
+#: Default flush threshold (candidate pairs) for the chunked sweep join.
+#: Bounds peak memory at roughly ``chunk * 8 doubles`` regardless of how
+#: many candidates the sweep produces in total.
+SWEEP_JOIN_CHUNK = 4_000_000
+
+
+def batch_sweep_join(
+    batch_a: KineticBatch,
+    batch_b: KineticBatch,
+    t0: float,
+    t1: float,
+    dim: Optional[int] = None,
+    counter: Optional[List[int]] = None,
+    chunk: int = SWEEP_JOIN_CHUNK,
+    backend: Optional[object] = None,
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Arrays-out plane-sweep join: the whole-dataset probe primitive.
+
+    The candidate generation of :func:`batch_ps_intersection` with the
+    result left in columnar form: returns ``(idx_a, idx_b, lo, hi)``
+    arrays of the surviving pairs, in sweep order — ``batch_a[idx_a[k]]``
+    intersects ``batch_b[idx_b[k]]`` exactly during ``[lo[k], hi[k]]``,
+    bit-identical to the scalar ``intersection_interval``.  Candidate
+    segments are flushed through the pair-window kernel every ``chunk``
+    pairs, so peak memory stays bounded for dataset-scale sweeps
+    (100k × 100k) where materializing all candidates at once would not.
+
+    ``backend`` optionally supplies compiled kernels (an object with
+    ``pair_windows`` / ``sweep_bounds`` matching the module functions,
+    see :mod:`repro.geometry.compiled`); ``None`` runs the NumPy oracle
+    path.
+    """
+    if t1 < t0:
+        raise ValueError("t_end must be >= t_start")
+    empty = (
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0),
+        np.empty(0),
+    )
+    if batch_a.n == 0 or batch_b.n == 0:
+        return empty
+    if dim is None:
+        dim = batch_select_sweep_dimension(batch_a, batch_b)
+    bounds = batch_sweep_bounds if backend is None else backend.sweep_bounds
+    windows = _pair_windows if backend is None else backend.pair_windows
+    lb_a, ub_a = bounds(batch_a, dim, t0, t1)
+    lb_b, ub_b = bounds(batch_b, dim, t0, t1)
+    order_a = np.argsort(lb_a, kind="stable")
+    order_b = np.argsort(lb_b, kind="stable")
+    lba, uba = lb_a[order_a], ub_a[order_a]
+    lbb, ubb = lb_b[order_b], ub_b[order_b]
+    # Candidate stop per pivot: first position whose lb exceeds the
+    # pivot's ub.  Identical to the scalar scan because lb is sorted.
+    stops_a = np.searchsorted(lbb, uba, side="right").tolist()
+    stops_b = np.searchsorted(lba, ubb, side="right").tolist()
+    lba_list, lbb_list = lba.tolist(), lbb.tolist()
+    out_a: List = []
+    out_b: List = []
+    out_lo: List = []
+    out_hi: List = []
+    a_parts: List = []
+    b_parts: List = []
+    pending = 0
+    tested = 0
+
+    def flush() -> None:
+        nonlocal pending, tested
+        if not a_parts:
+            return
+        idx_a = np.concatenate(a_parts)
+        idx_b = np.concatenate(b_parts)
+        a_parts.clear()
+        b_parts.clear()
+        pending = 0
+        tested += int(idx_a.shape[0])
+        lo, hi, ok = windows(batch_a, idx_a, batch_b, idx_b, t0, t1)
+        sel = np.nonzero(ok)[0]
+        out_a.append(idx_a[sel])
+        out_b.append(idx_b[sel])
+        out_lo.append(lo[sel])
+        out_hi.append(hi[sel])
+
+    ia = ib = 0
+    m, n = batch_a.n, batch_b.n
+    while ia < m and ib < n:
+        if lba_list[ia] <= lbb_list[ib]:
+            stop = stops_a[ia]
+            if stop > ib:
+                a_parts.append(np.full(stop - ib, order_a[ia]))
+                b_parts.append(order_b[ib:stop])
+                pending += stop - ib
+            ia += 1
+        else:
+            stop = stops_b[ib]
+            if stop > ia:
+                a_parts.append(order_a[ia:stop])
+                b_parts.append(np.full(stop - ia, order_b[ib]))
+                pending += stop - ia
+            ib += 1
+        if pending >= chunk:
+            flush()
+    flush()
+    if counter is not None:
+        counter[0] += tested
+    if not out_a:
+        return empty
+    return (
+        np.concatenate(out_a),
+        np.concatenate(out_b),
+        np.concatenate(out_lo),
+        np.concatenate(out_hi),
+    )
+
+
 def batch_ps_intersection(
     batch_a: KineticBatch,
     batch_b: KineticBatch,
@@ -354,58 +470,18 @@ def batch_ps_intersection(
     restructured for batching: every pivot's candidate range comes from
     one vectorized binary search over the sorted sweep bounds, the
     cheap merge loop only *collects* (pivot, candidates) index segments,
-    and all collected pairs are then tested by a single gather kernel —
-    one NumPy dispatch for the whole sweep instead of one per pivot.
+    and all collected pairs are then tested by a gather kernel — a
+    handful of NumPy dispatches for the whole sweep instead of one per
+    pivot.  This is a thin triple-building wrapper over
+    :func:`batch_sweep_join`, which keeps the result in arrays.
     """
-    if t1 < t0:
-        raise ValueError("t_end must be >= t_start")
-    if batch_a.n == 0 or batch_b.n == 0:
-        return []
-    if dim is None:
-        dim = batch_select_sweep_dimension(batch_a, batch_b)
-    lb_a, ub_a = batch_sweep_bounds(batch_a, dim, t0, t1)
-    lb_b, ub_b = batch_sweep_bounds(batch_b, dim, t0, t1)
-    order_a = np.argsort(lb_a, kind="stable")
-    order_b = np.argsort(lb_b, kind="stable")
-    lba, uba = lb_a[order_a], ub_a[order_a]
-    lbb, ubb = lb_b[order_b], ub_b[order_b]
-    # Candidate stop per pivot: first position whose lb exceeds the
-    # pivot's ub.  Identical to the scalar scan because lb is sorted.
-    stops_a = np.searchsorted(lbb, uba, side="right").tolist()
-    stops_b = np.searchsorted(lba, ubb, side="right").tolist()
-    lba_list, lbb_list = lba.tolist(), lbb.tolist()
-    a_parts: List = []
-    b_parts: List = []
-    ia = ib = 0
-    m, n = batch_a.n, batch_b.n
-    while ia < m and ib < n:
-        if lba_list[ia] <= lbb_list[ib]:
-            stop = stops_a[ia]
-            if stop > ib:
-                a_parts.append(np.full(stop - ib, order_a[ia]))
-                b_parts.append(order_b[ib:stop])
-            ia += 1
-        else:
-            stop = stops_b[ib]
-            if stop > ia:
-                a_parts.append(order_a[ia:stop])
-                b_parts.append(np.full(stop - ia, order_b[ib]))
-            ib += 1
-    if not a_parts:
-        return []
-    idx_a = np.concatenate(a_parts)
-    idx_b = np.concatenate(b_parts)
-    if counter is not None:
-        counter[0] += int(idx_a.shape[0])
-    lo, hi, ok = _pair_windows(batch_a, idx_a, batch_b, idx_b, t0, t1)
-    sel = np.nonzero(ok)[0]
+    idx_a, idx_b, lo, hi = batch_sweep_join(
+        batch_a, batch_b, t0, t1, dim=dim, counter=counter
+    )
     return [
         (int(i), int(j), TimeInterval(s, e))
         for i, j, s, e in zip(
-            idx_a[sel].tolist(),
-            idx_b[sel].tolist(),
-            lo[sel].tolist(),
-            hi[sel].tolist(),
+            idx_a.tolist(), idx_b.tolist(), lo.tolist(), hi.tolist()
         )
     ]
 
@@ -474,6 +550,7 @@ def batch_insertion_costs(
     objs_batch: KineticBatch,
     t0: float,
     t1: float,
+    backend: Optional[object] = None,
 ) -> Tuple["np.ndarray", "np.ndarray"]:
     """The TPR choose-subtree cost grid for a whole batch of inserts.
 
@@ -483,8 +560,12 @@ def batch_insertion_costs(
     :meth:`TPRTree._choose_child`) and ``areas[i]`` is entry ``i``'s
     own integrated area (the tie-break key).  One call replaces
     ``n_entries * n_objs`` scalar ``integrated_union_enlargement``
-    evaluations at the node being descended.
+    evaluations at the node being descended.  ``backend`` optionally
+    supplies the compiled kernel (see :mod:`repro.geometry.compiled`);
+    its output is bit-identical.
     """
+    if backend is not None:
+        return backend.insertion_costs(entries_batch, objs_batch, t0, t1)
     horizon = t1 - t0
     areas = batch_integrated_areas(entries_batch, t0, t1)
     # Union bound at t0, per dimension: position min/max at t0 with

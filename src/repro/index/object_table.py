@@ -25,6 +25,8 @@ class ObjectTable:
     key there, a single TPR-tree stores nothing.
     """
 
+    __slots__ = ("_rows",)
+
     def __init__(self) -> None:
         self._rows: Dict[int, Tuple[MovingObject, Optional[int]]] = {}
 

@@ -119,6 +119,17 @@ class CostTracker:
     attributes cost to phases without changing any of the totals here.
     """
 
+    __slots__ = (
+        "page_reads",
+        "page_writes",
+        "pair_tests",
+        "node_visits",
+        "cpu_seconds",
+        "obs",
+        "_timed_depth",
+        "_timed_t0",
+    )
+
     def __init__(self) -> None:
         self.page_reads = 0
         self.page_writes = 0
@@ -205,6 +216,8 @@ class CostTracker:
 
 class _Stopwatch:
     """Context manager used by :meth:`CostTracker.timed`."""
+
+    __slots__ = ("_tracker",)
 
     def __init__(self, tracker: CostTracker):
         self._tracker = tracker

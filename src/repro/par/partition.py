@@ -20,6 +20,8 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from ..geometry import INF
 from ..geometry.box import NDIMS
 from ..objects import MovingObject
@@ -71,6 +73,25 @@ class StripePartition:
         first = bisect_left(self.cuts, lo)
         last = bisect_right(self.cuts, hi)
         return tuple(range(first, last + 1))
+
+    def spans_to_shards(
+        self, lo: np.ndarray, hi: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`shards_for_span` over span arrays.
+
+        Returns ``(first, last)`` int arrays: span ``k`` intersects
+        exactly stripes ``first[k] .. last[k]`` inclusive.  The
+        ``searchsorted`` sides mirror the ``bisect_left``/
+        ``bisect_right`` pair of the scalar path, so routing decisions
+        are bit-identical.
+        """
+        if np.any(hi < lo):
+            bad = int(np.argmax(hi < lo))
+            raise ValueError(f"empty span: [{lo[bad]}, {hi[bad]}]")
+        cuts = np.asarray(self.cuts)
+        first = np.searchsorted(cuts, lo, side="left")
+        last = np.searchsorted(cuts, hi, side="right")
+        return first, last
 
     # ------------------------------------------------------------------
     @classmethod

@@ -35,7 +35,10 @@ import multiprocessing
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..core.config import JoinConfig
+from ..geometry import Box
 from ..geometry.plane_sweep import sweep_bounds
 from ..metrics import CostSnapshot
 from ..objects import MovingObject
@@ -291,6 +294,87 @@ class ShardedJoinEngine:
         for res in results.values():
             answer |= res[-1]
         return answer
+
+    def apply_update_columns(self, upd_a, upd_b) -> None:
+        """Column-batch group commit: the array-native update path.
+
+        ``upd_a`` / ``upd_b`` are :class:`~repro.core.columns.
+        UpdateColumns` batches of already-registered objects (``vlo ==
+        vhi`` — object batches, not aggregated node bounds).  Halo
+        sweeps and stripe routing run vectorized over the whole batch
+        (:meth:`StripePartition.spans_to_shards`), then each shard is
+        shipped exactly the row slice it owns; routing decisions are
+        bit-identical to :meth:`apply_updates` on the same objects.
+        """
+        ops: "OrderedDict[int, List[Tuple]]" = OrderedDict(
+            (sid, []) for sid in range(self.n_shards)
+        )
+        for upd, registry, dataset in (
+            (upd_a, self.objects_a, "a"),
+            (upd_b, self.objects_b, "b"),
+        ):
+            k = len(upd)
+            if not k:
+                continue
+            first, last = self._route_columns(upd)
+            first_l, last_l = first.tolist(), last.tolist()
+            oids = upd.oid.tolist()
+            xlo, ylo = upd.mlo[0].tolist(), upd.mlo[1].tolist()
+            xhi, yhi = upd.mhi[0].tolist(), upd.mhi[1].tolist()
+            vx, vy = upd.vlo[0].tolist(), upd.vlo[1].tolist()
+            trefs = upd.tref.tolist()
+            for i in range(k):
+                oid = oids[i]
+                if oid not in registry:
+                    raise KeyError(f"unknown object id {oid}")
+                obj = MovingObject(
+                    oid,
+                    Box(xlo[i], xhi[i], ylo[i], yhi[i]),
+                    vx[i],
+                    vy[i],
+                    t_ref=trefs[i],
+                )
+                registry[oid] = obj
+                old = self._members[oid]
+                new = tuple(range(first_l[i], last_l[i] + 1))
+                self._members[oid] = new
+                for sid in old:
+                    if sid not in new:
+                        ops[sid].append(("evict", oid))
+                for sid in new:
+                    if sid in old:
+                        ops[sid].append(("update", obj))
+                    else:
+                        ops[sid].append(("admit", obj, dataset))
+                self.update_count += 1
+        cmds = OrderedDict(
+            (sid, [("ops", sid, shard_ops)])
+            for sid, shard_ops in ops.items()
+            if shard_ops
+        )
+        if cmds:
+            self._backend.run(cmds)
+        if self.config.sanitize:
+            self.validate()
+
+    def _route_columns(self, upd) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized halo membership of one column batch.
+
+        Mirrors :meth:`membership` term for term: the swept extent of
+        each row over ``[tref, tref + ghost_horizon]`` along the
+        partition axis, routed through the stripe cuts.  The ``dt``
+        terms reproduce the scalar expression (including its rounding)
+        so the two paths never disagree on a boundary row.
+        """
+        axis = self.partition.axis
+        horizon = self.ghost_horizon
+        tref = upd.tref
+        dt1 = (tref + horizon) - tref
+        mlo, mhi = upd.mlo[axis], upd.mhi[axis]
+        vlo, vhi = upd.vlo[axis], upd.vhi[axis]
+        lb = np.minimum(mlo + vlo * 0.0, mlo + vlo * dt1)
+        ub = np.maximum(mhi + vhi * 0.0, mhi + vhi * dt1)
+        return self.partition.spans_to_shards(lb, ub)
 
     def _route_updates(
         self, batch: Iterable[MovingObject]

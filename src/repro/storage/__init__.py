@@ -7,6 +7,13 @@ exact while the experiments stay laptop-fast.
 """
 
 from .buffer import DEFAULT_BUFFER_PAGES, BufferPool, PageCodec
+from .column_pages import (
+    free_columns,
+    load_column_store,
+    load_columns,
+    save_column_store,
+    save_columns,
+)
 from .disk import DEFAULT_PAGE_SIZE, DiskManager, PageError
 from .file_disk import FileDiskManager
 from .serializer import BytesCodec, StructReader, StructWriter
@@ -17,6 +24,11 @@ __all__ = [
     "DiskManager",
     "FileDiskManager",
     "PageError",
+    "save_columns",
+    "load_columns",
+    "free_columns",
+    "save_column_store",
+    "load_column_store",
     "BufferPool",
     "PageCodec",
     "BytesCodec",

@@ -29,6 +29,8 @@ class StructWriter:
     (-5, 2.5)
     """
 
+    __slots__ = ("_chunks",)
+
     def __init__(self) -> None:
         self._chunks: List[bytes] = []
 
@@ -53,6 +55,8 @@ class StructWriter:
 
 class StructReader:
     """Sequentially decodes values written by :class:`StructWriter`."""
+
+    __slots__ = ("_data", "_pos")
 
     def __init__(self, data: bytes):
         self._data = data

@@ -2,20 +2,25 @@
 
 from .generator import (
     DISTRIBUTIONS,
+    ArrayScenario,
     Scenario,
     battlefield_workload,
     gaussian_workload,
     make_workload,
+    make_workload_arrays,
     road_network_workload,
     uniform_workload,
 )
 from .io import load_scenario, save_scenario, scenario_from_dict, scenario_to_dict
-from .updates import UpdateStream
+from .updates import UpdateStream, VectorUpdateStream
 
 __all__ = [
     "DISTRIBUTIONS",
     "Scenario",
+    "ArrayScenario",
     "make_workload",
+    "make_workload_arrays",
+    "VectorUpdateStream",
     "uniform_workload",
     "gaussian_workload",
     "battlefield_workload",

@@ -27,7 +27,9 @@ from ..objects import MovingObject
 
 __all__ = [
     "Scenario",
+    "ArrayScenario",
     "make_workload",
+    "make_workload_arrays",
     "uniform_workload",
     "gaussian_workload",
     "battlefield_workload",
@@ -119,6 +121,149 @@ def make_workload(
     return Scenario(
         set_a=set_a,
         set_b=set_b,
+        distribution=distribution,
+        space_size=space_size,
+        max_speed=max_speed,
+        object_side=side,
+        t_m=t_m,
+        seed=seed,
+        rng=rng,
+    )
+
+
+@dataclass
+class ArrayScenario:
+    """A generated dataset pair kept as arrays (no per-object Python).
+
+    The columnar counterpart of :class:`Scenario`: positions and
+    velocities stay as the ``(2, n)`` arrays the samplers drew, so a
+    1M-object workload generates in seconds and feeds the columnar
+    engine without ever materializing a :class:`MovingObject` per row.
+    For the bulk distributions (everything except ``road``) the arrays
+    are *bit-identical* to the objects :func:`make_workload` builds from
+    the same seed — :meth:`to_scenario` materializes them and is pinned
+    against the legacy generator by a regression fixture.
+    """
+
+    oid_a: np.ndarray
+    pos_a: np.ndarray
+    vel_a: np.ndarray
+    oid_b: np.ndarray
+    pos_b: np.ndarray
+    vel_b: np.ndarray
+    distribution: str
+    space_size: float
+    max_speed: float
+    object_side: float
+    t_m: float
+    seed: int
+    #: RNG for the scenario's update stream (advanced past generation).
+    rng: np.random.Generator = field(repr=False)
+
+    @property
+    def n_objects(self) -> int:
+        """Cardinality of each dataset."""
+        return int(self.oid_a.shape[0])
+
+    def columns_a(self):
+        """Dataset A as :class:`~repro.core.columns.UpdateColumns`."""
+        return self._columns(self.oid_a, self.pos_a, self.vel_a)
+
+    def columns_b(self):
+        """Dataset B as :class:`~repro.core.columns.UpdateColumns`."""
+        return self._columns(self.oid_b, self.pos_b, self.vel_b)
+
+    def _columns(self, oids, pos, vel):
+        # Late import: repro.core imports this package at load time.
+        from ..core.columns import UpdateColumns
+
+        return UpdateColumns(
+            oid=oids,
+            mlo=pos,
+            mhi=pos + self.object_side,
+            vlo=vel,
+            vhi=vel,
+            tref=np.zeros(pos.shape[1]),
+        )
+
+    def to_scenario(self) -> Scenario:
+        """Materialize per-object :class:`Scenario` (tests, small n)."""
+        side = self.object_side
+        set_a = [
+            _make_object(int(self.oid_a[i]), self.pos_a[:, i], self.vel_a[:, i], side)
+            for i in range(self.n_objects)
+        ]
+        set_b = [
+            _make_object(int(self.oid_b[i]), self.pos_b[:, i], self.vel_b[:, i], side)
+            for i in range(self.n_objects)
+        ]
+        return Scenario(
+            set_a=set_a,
+            set_b=set_b,
+            distribution=self.distribution,
+            space_size=self.space_size,
+            max_speed=self.max_speed,
+            object_side=side,
+            t_m=self.t_m,
+            seed=self.seed,
+            rng=self.rng,
+        )
+
+
+def make_workload_arrays(
+    n_objects: int,
+    distribution: str = "uniform",
+    space_size: float = 1000.0,
+    max_speed: float = 2.0,
+    object_size_pct: float = 0.1,
+    t_m: float = 60.0,
+    seed: int = 0,
+) -> ArrayScenario:
+    """Generate two datasets of ``n_objects`` each, as arrays.
+
+    Same parameters, same seeded RNG and the *same draw order* as
+    :func:`make_workload`, but the per-object materialization loop is
+    gone — the samplers' bulk draws are returned directly (transposed to
+    the ``(2, n)`` column layout).  The positions and velocities are
+    therefore bit-identical to the legacy generator's objects; only the
+    ``road`` distribution still pays a per-object sampling loop (its
+    draws are inherently sequential).
+    """
+    if distribution not in DISTRIBUTIONS:
+        raise ValueError(f"unknown distribution {distribution!r}")
+    if n_objects <= 0:
+        raise ValueError("n_objects must be positive")
+    if not 0 < object_size_pct < 100:
+        raise ValueError("object_size_pct must be in (0, 100)")
+    rng = np.random.default_rng(seed)
+    side = space_size * object_size_pct / 100.0
+    if distribution == "uniform":
+        positions_a = _uniform_positions(rng, n_objects, space_size, side)
+        positions_b = _uniform_positions(rng, n_objects, space_size, side)
+        velocities_a = _random_velocities(rng, n_objects, max_speed)
+        velocities_b = _random_velocities(rng, n_objects, max_speed)
+    elif distribution == "gaussian":
+        positions_a = _gaussian_positions(rng, n_objects, space_size, side)
+        positions_b = _gaussian_positions(rng, n_objects, space_size, side)
+        velocities_a = _random_velocities(rng, n_objects, max_speed)
+        velocities_b = _random_velocities(rng, n_objects, max_speed)
+    elif distribution == "battlefield":
+        positions_a = _battlefield_positions(rng, n_objects, space_size, side, left=True)
+        positions_b = _battlefield_positions(rng, n_objects, space_size, side, left=False)
+        velocities_a = _homing_velocities(rng, n_objects, max_speed, toward_positive_x=True)
+        velocities_b = _homing_velocities(rng, n_objects, max_speed, toward_positive_x=False)
+    else:  # road network
+        positions_a, velocities_a = _road_placement(rng, n_objects, space_size, side, max_speed)
+        positions_b, velocities_b = _road_placement(rng, n_objects, space_size, side, max_speed)
+    return ArrayScenario(
+        oid_a=np.arange(n_objects, dtype=np.int64),
+        pos_a=np.ascontiguousarray(positions_a.T),
+        vel_a=np.ascontiguousarray(velocities_a.T),
+        oid_b=np.arange(
+            _B_ID_OFFSET, _B_ID_OFFSET + n_objects, dtype=np.int64
+        ),
+        pos_b=np.ascontiguousarray(positions_b.T),
+        vel_b=np.ascontiguousarray(velocities_b.T),
         distribution=distribution,
         space_size=space_size,
         max_speed=max_speed,

@@ -1,0 +1,223 @@
+"""Differential suite: the columnar engine is store-identical to the seed.
+
+The tentpole claim of the columnar tick loop is not "close" but
+*bit-identical*: same pair keys, same interval endpoints, across the
+whole maintenance matrix — both algorithms, NumPy kernels on and off in
+the seed engine, sanitizers on and off, and against the K-way sharded
+engine's merged store.  Every comparison below is exact equality on
+interval endpoints, never tolerance-based.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    COLUMNAR_ALGORITHMS,
+    ColumnarJoinEngine,
+    ContinuousJoinEngine,
+    JoinConfig,
+    SimulationDriver,
+)
+from repro.workloads import (
+    UpdateStream,
+    VectorUpdateStream,
+    make_workload,
+    make_workload_arrays,
+)
+
+T_M = 12.0
+N = 60
+STEPS = 14
+
+
+def dump(store):
+    """Exact store contents: sorted (key, interval endpoints) rows."""
+    return sorted(
+        (key, tuple((iv.start, iv.end) for iv in intervals))
+        for key, intervals in store._pairs.items()
+    )
+
+
+def scenario_pair(seed=31, n=N, distribution="uniform"):
+    scenario = make_workload(
+        n, distribution, max_speed=3.0, object_size_pct=1.5, t_m=T_M, seed=seed
+    )
+    return scenario
+
+
+def drive_both(algorithm, config_seed, config_col, distribution="uniform", seed=31):
+    """Run seed and columnar engines in lockstep off one update stream."""
+    scenario = scenario_pair(seed=seed, distribution=distribution)
+    seed_engine = ContinuousJoinEngine.create(
+        scenario.set_a, scenario.set_b, algorithm=algorithm, config=config_seed
+    )
+    col_engine = ColumnarJoinEngine(
+        scenario.set_a, scenario.set_b, algorithm=algorithm, config=config_col
+    )
+    seed_engine.run_initial_join()
+    col_engine.run_initial_join()
+    stream = UpdateStream(scenario, seed=seed + 5)
+    current = dict(seed_engine.objects_a)
+    current.update(seed_engine.objects_b)
+    for step in range(1, STEPS + 1):
+        t = float(step)
+        batch = stream.updates_for(t, current)
+        for obj in batch:
+            current[obj.oid] = obj
+        seed_engine.tick(t)
+        seed_engine.apply_updates(batch)
+        col_engine.tick(t)
+        col_engine.apply_updates(batch)
+        assert seed_engine.result_at(t) == col_engine.result_at(t), f"t={t}"
+    return seed_engine, col_engine
+
+
+@pytest.mark.parametrize("algorithm", COLUMNAR_ALGORITHMS)
+@pytest.mark.parametrize("use_kernels", [False, True])
+@pytest.mark.parametrize("sanitize", [False, True])
+def test_store_identical_to_seed_engine(algorithm, use_kernels, sanitize):
+    seed_engine, col_engine = drive_both(
+        algorithm,
+        JoinConfig(t_m=T_M, use_kernels=use_kernels, sanitize=sanitize),
+        JoinConfig(t_m=T_M, sanitize=sanitize),
+    )
+    assert dump(seed_engine._strategy.store) == dump(col_engine.store)
+    assert len(col_engine.store) > 0  # the identity is not vacuous
+
+
+@pytest.mark.parametrize("algorithm", COLUMNAR_ALGORITHMS)
+@pytest.mark.parametrize("distribution", ["gaussian", "battlefield"])
+def test_store_identical_across_distributions(algorithm, distribution):
+    seed_engine, col_engine = drive_both(
+        algorithm,
+        JoinConfig(t_m=T_M),
+        JoinConfig(t_m=T_M),
+        distribution=distribution,
+    )
+    assert dump(seed_engine._strategy.store) == dump(col_engine.store)
+
+
+def test_compile_kernels_flag_falls_back_cleanly():
+    """Without Numba the flag must be a silent no-op, results unchanged."""
+    _, plain = drive_both("mtb", JoinConfig(t_m=T_M), JoinConfig(t_m=T_M))
+    _, flagged = drive_both(
+        "mtb", JoinConfig(t_m=T_M), JoinConfig(t_m=T_M, compile_kernels=True)
+    )
+    assert dump(plain.store) == dump(flagged.store)
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def test_merged_sharded_store_equals_columnar(shards):
+    from repro.par import ShardedJoinEngine
+
+    arr = make_workload_arrays(
+        N, "uniform", max_speed=3.0, object_size_pct=1.5, t_m=T_M, seed=31
+    )
+    scenario = arr.to_scenario()
+    config = JoinConfig(t_m=T_M)
+    sharded = ShardedJoinEngine(
+        scenario.set_a, scenario.set_b, algorithm="mtb", config=config,
+        shards=shards,
+    )
+    columnar = ColumnarJoinEngine(
+        arr.columns_a(), arr.columns_b(), algorithm="mtb", config=config
+    )
+    sharded.run_initial_join()
+    columnar.run_initial_join()
+    stream_s = VectorUpdateStream(arr, seed=36)
+    stream_c = VectorUpdateStream(
+        make_workload_arrays(
+            N, "uniform", max_speed=3.0, object_size_pct=1.5, t_m=T_M, seed=31
+        ),
+        seed=36,
+    )
+    for step in range(1, STEPS + 1):
+        t = float(step)
+        sharded.tick(t)
+        upd_a, upd_b = stream_s.updates_at(t)
+        sharded.apply_update_columns(upd_a, upd_b)
+        columnar.tick(t)
+        upd_a, upd_b = stream_c.updates_at(t)
+        columnar.apply_update_columns(upd_a, upd_b)
+    assert dump(sharded.merged_store()) == dump(columnar.store)
+    sharded.close()
+
+
+def test_admissions_and_evictions_match_seed():
+    scenario = scenario_pair()
+    config = JoinConfig(t_m=T_M)
+    seed_engine = ContinuousJoinEngine.create(
+        scenario.set_a[:40], scenario.set_b, algorithm="mtb", config=config
+    )
+    col_engine = ColumnarJoinEngine(
+        scenario.set_a[:40], scenario.set_b, algorithm="mtb", config=config
+    )
+    seed_engine.run_initial_join()
+    col_engine.run_initial_join()
+    latecomers = scenario.set_a[40:50]
+    victims = [o.oid for o in scenario.set_b[:5]]
+    for step, obj in enumerate(latecomers, start=1):
+        t = float(step)
+        seed_engine.tick(t)
+        col_engine.tick(t)
+        arrival = obj.updated(t)
+        seed_engine.apply_updates([], admit=[(arrival, "a")], evict=victims[:1])
+        col_engine.apply_updates([], admit=[(arrival, "a")], evict=victims[:1])
+        victims = victims[1:]
+        assert seed_engine.result_at(t) == col_engine.result_at(t)
+    assert dump(seed_engine._strategy.store) == dump(col_engine.store)
+
+
+def test_simulation_driver_uses_columnar_fast_path():
+    arr = make_workload_arrays(
+        N, "uniform", max_speed=3.0, object_size_pct=1.5, t_m=T_M, seed=31
+    )
+    config = JoinConfig(t_m=T_M)
+    engine = ColumnarJoinEngine(
+        arr.columns_a(), arr.columns_b(), algorithm="mtb", config=config
+    )
+    engine.run_initial_join()
+    driver = SimulationDriver(engine, VectorUpdateStream(arr, seed=36))
+    assert driver._columnar_fast_path()
+    stats = driver.run(STEPS)
+    assert len(stats) == STEPS
+    assert driver.total_updates() == engine.update_count
+    # Same end state as the manual tick/apply loop.
+    manual = ColumnarJoinEngine(
+        arr.columns_a(), arr.columns_b(), algorithm="mtb", config=config
+    )
+    manual.run_initial_join()
+    stream = VectorUpdateStream(
+        make_workload_arrays(
+            N, "uniform", max_speed=3.0, object_size_pct=1.5, t_m=T_M, seed=31
+        ),
+        seed=36,
+    )
+    for step in range(1, STEPS + 1):
+        t = float(step)
+        manual.tick(t)
+        upd_a, upd_b = stream.updates_at(t)
+        manual.apply_update_columns(upd_a, upd_b)
+    assert dump(manual.store) == dump(engine.store)
+
+
+def test_historical_batch_rejected():
+    scenario = scenario_pair()
+    engine = ColumnarJoinEngine(
+        scenario.set_a, scenario.set_b, algorithm="tc", config=JoinConfig(t_m=T_M)
+    )
+    engine.run_initial_join()
+    engine.tick(5.0)
+    stale = scenario.set_a[0]  # t_ref == 0.0 != engine.now
+    with pytest.raises(ValueError, match="t_ref"):
+        engine.apply_updates([stale])
+
+
+def test_prune_expired_matches_store_semantics():
+    _, engine = drive_both("tc", JoinConfig(t_m=T_M), JoinConfig(t_m=T_M))
+    before = len(engine.store)
+    engine.tick(1000.0)
+    dropped = engine.prune_expired()
+    assert dropped == before
+    assert len(engine.store) == 0

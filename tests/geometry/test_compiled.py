@@ -1,0 +1,122 @@
+"""Parity suite: the compiled kernel bodies match the NumPy oracle.
+
+``repro.geometry.compiled`` documents an *oracle contract*: the kernel
+bodies perform the same IEEE-754 operations in the same order as the
+NumPy kernels, so outputs must be **bit-identical** — every assertion
+here is exact equality.  ``reference_backend()`` exposes the uncompiled
+bodies, so the contract is testable without Numba; the compiled tests
+auto-skip where Numba is missing (they run in the CI ``scale`` job).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import compiled
+from repro.geometry.interval import INF
+from repro.geometry.kernels import (
+    KineticBatch,
+    _pair_windows,
+    batch_insertion_costs,
+    batch_sweep_bounds,
+    batch_sweep_join,
+)
+from repro.workloads import make_workload
+
+T0, T1 = 2.0, 30.0
+
+
+def batches(n=60, seed=11):
+    scenario = make_workload(
+        n, "uniform", max_speed=4.0, object_size_pct=2.0, t_m=25.0, seed=seed
+    )
+    a = KineticBatch.from_boxes([o.kbox for o in scenario.set_a])
+    b = KineticBatch.from_boxes([o.kbox for o in scenario.set_b])
+    return a, b
+
+
+def dense_pairs(batch_a, batch_b):
+    ia, jb = np.meshgrid(
+        np.arange(len(batch_a.tref)), np.arange(len(batch_b.tref)), indexing="ij"
+    )
+    return ia.ravel().astype(np.int64), jb.ravel().astype(np.int64)
+
+
+class _ParityContract:
+    """Shared assertions; subclasses choose the backend under test."""
+
+    def backend(self):
+        raise NotImplementedError
+
+    def test_pair_windows_bit_exact(self):
+        batch_a, batch_b = batches()
+        ia, jb = dense_pairs(batch_a, batch_b)
+        want_lo, want_hi, want_ok = _pair_windows(batch_a, ia, batch_b, jb, T0, T1)
+        got_lo, got_hi, got_ok = self.backend().pair_windows(
+            batch_a, ia, batch_b, jb, T0, T1
+        )
+        assert np.array_equal(got_ok, want_ok)
+        # Windows only matter where the pair survives.
+        assert np.array_equal(got_lo[got_ok], want_lo[want_ok])
+        assert np.array_equal(got_hi[got_ok], want_hi[want_ok])
+        assert want_ok.any() and not want_ok.all()  # both branches exercised
+
+    @pytest.mark.parametrize("dim", [0, 1])
+    def test_sweep_bounds_bit_exact(self, dim):
+        batch, _ = batches()
+        want = batch_sweep_bounds(batch, dim, T0, T1)
+        got = self.backend().sweep_bounds(batch, dim, T0, T1)
+        assert np.array_equal(got[0], want[0])
+        assert np.array_equal(got[1], want[1])
+
+    @pytest.mark.parametrize("dim", [0, 1])
+    def test_sweep_bounds_infinite_horizon(self, dim):
+        batch, _ = batches()
+        want = batch_sweep_bounds(batch, dim, T0, INF)
+        got = self.backend().sweep_bounds(batch, dim, T0, INF)
+        assert np.array_equal(got[0], want[0])
+        assert np.array_equal(got[1], want[1])
+        assert np.isinf(got[0]).any()  # outward velocities hit -inf
+
+    def test_insertion_costs_bit_exact(self):
+        entries, objs = batches(n=25, seed=5)
+        want_enl, want_area = batch_insertion_costs(entries, objs, T0, T1)
+        got_enl, got_area = self.backend().insertion_costs(entries, objs, T0, T1)
+        assert np.array_equal(got_enl, want_enl)
+        assert np.array_equal(got_area, want_area)
+
+    def test_batch_sweep_join_with_backend(self):
+        batch_a, batch_b = batches()
+        want = batch_sweep_join(batch_a, batch_b, T0, T1)
+        got = batch_sweep_join(batch_a, batch_b, T0, T1, backend=self.backend())
+        for w, g in zip(want, got):
+            assert np.array_equal(g, w)
+        assert want[0].shape[0] > 0
+
+
+class TestReferenceBackend(_ParityContract):
+    """The uncompiled loop bodies, always runnable."""
+
+    def backend(self):
+        return compiled.reference_backend()
+
+
+@pytest.mark.skipif(not compiled.HAVE_NUMBA, reason="numba not installed")
+class TestNumbaBackend(_ParityContract):
+    """The njit-compiled bodies; runs only where Numba is present."""
+
+    def backend(self):
+        backend = compiled.get_backend()
+        assert backend is not None
+        return backend
+
+
+def test_get_backend_is_none_without_numba():
+    if compiled.HAVE_NUMBA:
+        pytest.skip("numba installed; fallback path not reachable")
+    assert compiled.get_backend() is None
+
+
+def test_get_backend_is_cached():
+    assert compiled.get_backend() is compiled.get_backend()

@@ -1,0 +1,142 @@
+"""Column routing in the sharded engine: vectorized, bit-identical.
+
+``spans_to_shards`` must mirror the scalar ``shards_for_span`` decision
+for decision, and ``apply_update_columns`` must land every shard in the
+exact same state the object-path ``apply_updates`` would — same members,
+same per-shard stores, same interval endpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import JoinConfig
+from repro.geometry import INF
+from repro.par import ShardedJoinEngine, StripePartition
+from repro.workloads import VectorUpdateStream, make_workload_arrays
+
+T_M = 10.0
+N = 80
+
+
+def arrays(seed=13):
+    return make_workload_arrays(
+        N, "uniform", max_speed=3.0, object_size_pct=1.5, t_m=T_M, seed=seed
+    )
+
+
+class TestSpansToShards:
+    def test_matches_scalar_rule_exhaustively(self):
+        part = StripePartition((10.0, 20.0, 35.0))
+        rng = np.random.default_rng(0)
+        lo = rng.uniform(-5.0, 45.0, 500)
+        hi = lo + rng.uniform(0.0, 15.0, 500)
+        first, last = part.spans_to_shards(lo, hi)
+        for k in range(500):
+            want = part.shards_for_span(float(lo[k]), float(hi[k]))
+            assert tuple(range(first[k], last[k] + 1)) == want
+
+    def test_boundary_spans_belong_to_both_stripes(self):
+        part = StripePartition((10.0,))
+        first, last = part.spans_to_shards(
+            np.asarray([10.0, 9.0, 10.0]), np.asarray([10.0, 10.0, 11.0])
+        )
+        # A span touching the cut intersects both neighbors, like the
+        # scalar rule's closed-stripe convention.
+        assert first.tolist() == [0, 0, 0]
+        assert last.tolist() == [1, 1, 1]
+
+    def test_infinite_spans_cover_everything(self):
+        part = StripePartition((10.0, 20.0))
+        first, last = part.spans_to_shards(
+            np.asarray([-INF]), np.asarray([INF])
+        )
+        assert (first[0], last[0]) == (0, part.n_shards - 1)
+
+    def test_empty_span_rejected(self):
+        part = StripePartition((10.0,))
+        with pytest.raises(ValueError, match="empty span"):
+            part.spans_to_shards(np.asarray([5.0]), np.asarray([4.0]))
+
+    def test_no_cuts_single_shard(self):
+        part = StripePartition(())
+        first, last = part.spans_to_shards(
+            np.asarray([0.0, 99.0]), np.asarray([1.0, 100.0])
+        )
+        assert first.tolist() == [0, 0]
+        assert last.tolist() == [0, 0]
+
+
+@pytest.mark.parametrize("algorithm", ["tc", "mtb"])
+def test_column_path_matches_object_path_per_shard(algorithm):
+    """Drive twin sharded engines, one per update path; compare shards."""
+    arr = arrays()
+    scenario = arr.to_scenario()
+    config = JoinConfig(t_m=T_M)
+
+    def build():
+        engine = ShardedJoinEngine(
+            scenario.set_a,
+            scenario.set_b,
+            algorithm=algorithm,
+            config=config,
+            shards=4,
+        )
+        engine.run_initial_join()
+        return engine
+
+    col_engine, obj_engine = build(), build()
+    stream = VectorUpdateStream(arr, seed=21)
+    for step in range(1, 11):
+        t = float(step)
+        col_engine.tick(t)
+        obj_engine.tick(t)
+        upd_a, upd_b = stream.updates_at(t)
+        col_engine.apply_update_columns(upd_a, upd_b)
+        obj_engine.apply_updates(upd_a.objects() + upd_b.objects())
+        assert col_engine.result_at(t) == obj_engine.result_at(t)
+    col_dumps = col_engine.store_dumps()
+    obj_dumps = obj_engine.store_dumps()
+    assert sorted(col_dumps) == sorted(obj_dumps)
+    for sid in col_dumps:
+        assert sorted(col_dumps[sid]) == sorted(obj_dumps[sid]), f"shard {sid}"
+    assert col_engine.update_count == obj_engine.update_count > 0
+    col_engine.close()
+    obj_engine.close()
+
+
+def test_column_path_unknown_oid_rejected():
+    arr = arrays()
+    scenario = arr.to_scenario()
+    engine = ShardedJoinEngine(
+        scenario.set_a, scenario.set_b, algorithm="mtb",
+        config=JoinConfig(t_m=T_M), shards=2,
+    )
+    engine.run_initial_join()
+    engine.tick(1.0)
+    stream = VectorUpdateStream(arr, seed=21)
+    upd_a, upd_b = stream.updates_at(1.0)
+    upd_a.oid[0] = 424242
+    with pytest.raises(KeyError, match="424242"):
+        engine.apply_update_columns(upd_a, upd_b)
+    engine.close()
+
+
+def test_column_path_with_sanitizer():
+    """The per-shard validators accept column-routed state every tick."""
+    arr = arrays(seed=29)
+    scenario = arr.to_scenario()
+    engine = ShardedJoinEngine(
+        scenario.set_a, scenario.set_b, algorithm="mtb",
+        config=JoinConfig(t_m=T_M, sanitize=True), shards=3,
+    )
+    engine.run_initial_join()
+    stream = VectorUpdateStream(arr, seed=5)
+    for step in range(1, 7):
+        t = float(step)
+        engine.tick(t)
+        upd_a, upd_b = stream.updates_at(t)
+        engine.apply_update_columns(upd_a, upd_b)
+    assert len(engine.merged_store()) > 0
+    engine.close()
