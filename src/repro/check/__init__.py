@@ -21,6 +21,7 @@ from .sanitize import (
     check_mtb_forest,
     check_result_store,
     check_sharded_state,
+    check_supervisor_state,
     check_tpr_tree,
     raise_on_findings,
     sanitize_engine,
@@ -38,6 +39,7 @@ __all__ = [
     "check_mtb_forest",
     "check_result_store",
     "check_sharded_state",
+    "check_supervisor_state",
     "check_index",
     "sanitize_engine",
     "raise_on_findings",

@@ -26,6 +26,12 @@ Sanitizer codes (``SCxxx``, checked at runtime against live structures):
 ``SC401``  stripe partition fails to cover the domain
 ``SC402``  shard residency disagrees with the swept ghost-halo rule
 ``SC403``  co-located pair copies diverge (or an endpoint is absent)
+``SC501``  supervisor op log exceeds the checkpoint interval
+``SC502``  checkpoint epoch/clock disagrees with the shard's engine
+``SC503``  shard commands addressed to a dead worker slot
+``SC601``  column-store id ↔ row map broken
+``SC602``  pre-shifted column bounds drifted from a fresh recompute
+``SC603``  column reference time ahead of the clock / non-finite data
 ========  ============================================================
 
 Lint codes (``RCxxx``, checked statically over source files):
@@ -52,6 +58,8 @@ SANITIZER_CODES = (
     "SC201", "SC202", "SC203",
     "SC301", "SC302", "SC303", "SC304", "SC305",
     "SC401", "SC402", "SC403",
+    "SC501", "SC502", "SC503",
+    "SC601", "SC602", "SC603",
 )
 
 LINT_CODES = ("RC001", "RC002", "RC003", "RC004", "RC005", "RC006")

@@ -19,6 +19,10 @@ The paper's correctness hangs on a handful of structural invariants:
   the whole domain, every object is resident in exactly the shards its
   swept ghost halo touches, and pairs co-located on several shards
   carry bit-identical interval lists.
+* **Shard supervisor** (:mod:`repro.par.supervisor`): recovery op logs
+  stay bounded by the checkpoint interval, each shard's replay base
+  agrees with its checkpoint epoch and never runs ahead of the engine
+  clock, and no shard's commands route to a dead worker slot.
 
 Every checker walks a live structure and returns
 :class:`~repro.check.errors.Finding` records instead of asserting, so
@@ -48,6 +52,7 @@ __all__ = [
     "check_mtb_forest",
     "check_result_store",
     "check_sharded_state",
+    "check_supervisor_state",
     "check_column_store",
     "check_index",
     "sanitize_engine",
@@ -416,19 +421,111 @@ def check_sharded_state(
 
 
 # ----------------------------------------------------------------------
+# Shard supervisor state
+# ----------------------------------------------------------------------
+def check_supervisor_state(
+    state: Dict[str, object], label: str = "supervisor"
+) -> List[Finding]:
+    """Supervision invariants of a supervisor export (codes SC501–SC503).
+
+    ``state`` is the JSON-safe snapshot produced by
+    :meth:`~repro.par.supervisor.ShardSupervisor.export_state` (format
+    ``"repro.par.supervisor/1"``).
+
+    * **SC501** — every shard's op log is bounded: its length never
+      exceeds the checkpoint interval (the supervisor must have taken
+      a checkpoint and truncated the log by then), and logged commands
+      are all state-mutating ops.
+    * **SC502** — checkpoint/engine epoch agreement: each shard's
+      replay base carries exactly the shard's current epoch, and its
+      reference time never runs ahead of the engine clock.
+    * **SC503** — no commands are addressed to a dead slot: every
+      non-degraded shard is assigned to a slot that exists and is
+      alive (degraded shards execute in-process and need no worker).
+    """
+    findings: List[Finding] = []
+    fmt = state.get("format")
+    if fmt != "repro.par.supervisor/1":
+        findings.append(Finding("SC501", f"unknown export format {fmt!r}", label))
+        return findings
+    interval = state.get("checkpoint_interval")
+    now = state.get("now")
+    slots = {int(s["slot"]): s for s in state["slots"]}
+    mutating = {"build", "restore", "initial_join", "tick", "ops", "prune"}
+
+    for entry in state["shards"]:
+        sid = int(entry["shard"])
+        where = f"{label}/shard {sid}"
+
+        # SC501: bounded, well-formed op log.
+        log_len = int(entry["oplog_len"])
+        if interval is not None and log_len > int(interval):
+            findings.append(Finding(
+                "SC501",
+                f"op log holds {log_len} commands, checkpoint interval "
+                f"is {interval}",
+                where,
+            ))
+        for op in entry.get("oplog_ops", ()):
+            if op not in mutating:
+                findings.append(Finding(
+                    "SC501", f"non-mutating command {op!r} in the op log", where
+                ))
+
+        # SC502: replay base agrees with the shard's epoch and clock.
+        checkpoint = entry.get("checkpoint")
+        if checkpoint is not None:
+            if int(checkpoint["epoch"]) != int(entry["epoch"]):
+                findings.append(Finding(
+                    "SC502",
+                    f"checkpoint epoch {checkpoint['epoch']} != shard "
+                    f"epoch {entry['epoch']}",
+                    where,
+                ))
+            if now is not None and float(checkpoint["now"]) > float(now):
+                findings.append(Finding(
+                    "SC502",
+                    f"checkpoint reference time {checkpoint['now']} is "
+                    f"ahead of the engine clock {now}",
+                    where,
+                ))
+        elif log_len:
+            findings.append(Finding(
+                "SC502", f"{log_len} logged commands but no replay base", where
+            ))
+
+        # SC503: commands must be routable to a live executor.
+        slot = slots.get(int(entry["slot"]))
+        if slot is None:
+            findings.append(Finding(
+                "SC503", f"assigned to unknown slot {entry['slot']}", where
+            ))
+        elif not entry.get("degraded") and not (
+            slot.get("alive") or slot.get("degraded")
+        ):
+            findings.append(Finding(
+                "SC503",
+                f"assigned to dead slot {entry['slot']} without "
+                f"degradation",
+                where,
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
 # Columnar store / engine
 # ----------------------------------------------------------------------
 def check_column_store(store, t_now: float, label: str = "columns") -> List[Finding]:
-    """Invariants of one :class:`~repro.core.columns.ColumnStore` (SC501–SC503).
+    """Invariants of one :class:`~repro.core.columns.ColumnStore` (SC601–SC603).
 
-    * **SC501** — the id ↔ row map is a bijection onto the dense live
+    * **SC601** — the id ↔ row map is a bijection onto the dense live
       prefix: every id files exactly one row in ``[0, n)``, every live
       row's stored id points back at it.
-    * **SC502** — the incrementally maintained pre-shifted bounds are
+    * **SC602** — the incrementally maintained pre-shifted bounds are
       *bit-identical* to a fresh recompute (``slo = mlo - vlo * tref``);
       any drift here would silently break the kernels' exactness
       contract.
-    * **SC503** — reference times never run ahead of the engine clock
+    * **SC603** — reference times never run ahead of the engine clock
       and all live values are finite.
     """
     import numpy as np
@@ -438,16 +535,16 @@ def check_column_store(store, t_now: float, label: str = "columns") -> List[Find
     row_of = store._row_of
     if len(row_of) != n:
         findings.append(Finding(
-            "SC501", f"row map holds {len(row_of)} ids for {n} live rows", label
+            "SC601", f"row map holds {len(row_of)} ids for {n} live rows", label
         ))
     for oid, row in row_of.items():
         if not 0 <= row < n:
             findings.append(Finding(
-                "SC501", f"id {oid} filed at row {row} outside [0, {n})", label
+                "SC601", f"id {oid} filed at row {row} outside [0, {n})", label
             ))
         elif int(store.oid[row]) != oid:
             findings.append(Finding(
-                "SC501",
+                "SC601",
                 f"row {row} stores id {int(store.oid[row])}, map says {oid}",
                 label,
             ))
@@ -459,16 +556,16 @@ def check_column_store(store, t_now: float, label: str = "columns") -> List[Find
     expect_shi = store.mhi[:, live] - store.vhi[:, live] * store.tref[live]
     if not np.array_equal(store.slo[:, live], expect_slo):  # noqa: RC001
         findings.append(Finding(
-            "SC502", "pre-shifted lower bounds drifted from recompute", label
+            "SC602", "pre-shifted lower bounds drifted from recompute", label
         ))
     if not np.array_equal(store.shi[:, live], expect_shi):  # noqa: RC001
         findings.append(Finding(
-            "SC502", "pre-shifted upper bounds drifted from recompute", label
+            "SC602", "pre-shifted upper bounds drifted from recompute", label
         ))
     if n:
         if float(store.tref[live].max()) > t_now:
             findings.append(Finding(
-                "SC503",
+                "SC603",
                 f"reference time {float(store.tref[live].max()):g} runs ahead "
                 f"of the clock t={t_now:g}",
                 label,
@@ -476,7 +573,7 @@ def check_column_store(store, t_now: float, label: str = "columns") -> List[Find
         for name in ("mlo", "mhi", "vlo", "vhi"):
             if not np.isfinite(getattr(store, name)[:, live]).all():
                 findings.append(Finding(
-                    "SC503", f"non-finite values in column {name}", label
+                    "SC603", f"non-finite values in column {name}", label
                 ))
     return findings
 
@@ -484,7 +581,7 @@ def check_column_store(store, t_now: float, label: str = "columns") -> List[Find
 def sanitize_columnar_engine(engine) -> List[Finding]:
     """Check everything a columnar engine maintains.
 
-    Both column stores (SC501–SC503) plus the shared result-store
+    Both column stores (SC601–SC603) plus the shared result-store
     invariants (SC301–SC305), with the same Theorem-1/2 interval bound
     the object engine is audited against: per-object anchors are the
     reference times (TC) or their bucket ends (MTB), straight from the

@@ -63,6 +63,26 @@ class JoinConfig:
     #: each counter increment pays one attribute test.  Also forced on
     #: by the ``REPRO_OBS=1`` environment variable.
     obs: bool = field(default=False, compare=False)
+    #: Supervised shard round-trip timeout in wall seconds
+    #: (:class:`~repro.par.supervisor.ShardSupervisor`): a worker that
+    #: gives no reply within this window is declared hung and
+    #: recovered.  ``None`` waits forever (liveness heartbeats still
+    #: catch dead workers).
+    shard_timeout: Optional[float] = field(default=30.0, compare=False)
+    #: Liveness-poll granularity while awaiting a shard reply: the
+    #: supervisor checks worker liveness every this many wall seconds.
+    shard_heartbeat: float = field(default=0.05, compare=False)
+    #: State-mutating commands a shard may accumulate in the
+    #: supervisor's op log before a fresh checkpoint is taken (bounds
+    #: both log memory and crash-recovery replay length).
+    checkpoint_interval: int = field(default=16, compare=False)
+    #: Failed respawn attempts per worker slot before its shards
+    #: degrade to in-process serial execution.
+    max_retries: int = field(default=2, compare=False)
+    #: Fault-injection plan (:mod:`repro.faults` spec string) armed in
+    #: the supervisor and its first-incarnation workers; ``None`` falls
+    #: back to the ``REPRO_FAULTS`` environment variable.
+    faults: Optional[str] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.sanitize and os.environ.get("REPRO_SANITIZE", "") not in ("", "0"):
@@ -81,6 +101,14 @@ class JoinConfig:
             raise ValueError("buckets_per_tm must be >= 1")
         if self.horizon is not None and self.horizon <= 0:
             raise ValueError("horizon must be positive")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive (or None)")
+        if self.shard_heartbeat <= 0:
+            raise ValueError("shard_heartbeat must be positive")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
 
     @property
     def effective_horizon(self) -> float:

@@ -1,16 +1,38 @@
-"""Parallel execution: spatial sharding and process-pool fan-out.
+"""Parallel execution: spatial sharding and supervised process fan-out.
 
 * :class:`StripePartition` — K contiguous stripes along one axis with
   quantile-balanced cuts (velocity-informed axis choice);
 * :class:`ShardedJoinEngine` — per-shard independent engines with
   swept ghost/halo membership, bit-exact against the unsharded serial
-  engine, fanned out over a ``concurrent.futures`` process pool
+  engine, fanned out over supervised pipe-connected worker processes
   (``workers=0`` runs serially in-process);
-* :mod:`repro.par.worker` — the shard command protocol shared by both
-  backends.
+* :class:`ShardSupervisor` — fault tolerance for the worker fan-out:
+  round-trip timeouts with liveness heartbeats, respawn plus
+  deterministic checkpoint/op-log replay recovery, and graceful
+  degradation to in-process execution;
+* :mod:`repro.par.worker` — the shard command protocol shared by all
+  backends (including the checkpoint/restore recovery commands).
 """
 
 from .partition import StripePartition
 from .sharded import SHARDABLE_ALGORITHMS, ShardedJoinEngine
+from .supervisor import (
+    ShardCommandError,
+    ShardFailure,
+    ShardSupervisor,
+    ShardTimeoutError,
+    ShardWorkerDied,
+    SupervisorStats,
+)
 
-__all__ = ["StripePartition", "ShardedJoinEngine", "SHARDABLE_ALGORITHMS"]
+__all__ = [
+    "StripePartition",
+    "ShardedJoinEngine",
+    "SHARDABLE_ALGORITHMS",
+    "ShardSupervisor",
+    "SupervisorStats",
+    "ShardFailure",
+    "ShardTimeoutError",
+    "ShardWorkerDied",
+    "ShardCommandError",
+]

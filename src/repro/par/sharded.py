@@ -26,14 +26,18 @@ velocity over the same horizon).
 Execution fans out over persistent pipe-connected worker processes
 (``workers > 0``; each shard's engine lives in one slot's process for
 its whole life) or runs serially in-process (``workers=0``) — command
-semantics are identical (:mod:`repro.par.worker`).
+semantics are identical (:mod:`repro.par.worker`).  Worker processes
+are *supervised* (:class:`~repro.par.supervisor.ShardSupervisor`):
+every round trip carries a timeout and liveness heartbeat, crashed or
+hung workers are respawned and their shards rebuilt deterministically
+from checkpoint + op-log replay, and a slot that keeps failing folds
+into in-process execution instead of failing the join.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -44,6 +48,7 @@ from ..metrics import CostSnapshot
 from ..objects import MovingObject
 from . import worker
 from .partition import StripePartition
+from .supervisor import ShardSupervisor, SupervisorStats
 
 __all__ = ["ShardedJoinEngine", "SHARDABLE_ALGORITHMS"]
 
@@ -69,70 +74,6 @@ class _SerialBackend:
 
     def close(self) -> None:
         self.engines.clear()
-
-
-class _PoolBackend:
-    """One persistent pipe-connected worker process per slot.
-
-    A shared executor pool cannot route work to the process holding a
-    given shard's state; pinned slots can — commands for shard ``s``
-    always go to slot ``s mod workers``, whose lone process keeps that
-    engine in :data:`repro.par.worker._ENGINES`.
-
-    Dispatch is a raw ``multiprocessing.Pipe`` round trip instead of a
-    ``concurrent.futures`` submission: an executor's call queue and
-    management thread cost about 1 ms per fan-out, which — at one fused
-    command list per tick — rivals the per-shard compute itself on
-    Figure-13-scale shards.  The same fan-out over bare pipes measures
-    around 0.2 ms.
-    """
-
-    def __init__(self, workers: int, shard_ids: Sequence[int]):
-        n_slots = max(1, min(workers, len(shard_ids)))
-        self._conns = []
-        self._procs = []
-        for _ in range(n_slots):
-            parent_conn, child_conn = multiprocessing.Pipe()
-            proc = multiprocessing.Process(
-                target=worker.serve, args=(child_conn,), daemon=True
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
-        self._slot_of = {sid: i % n_slots for i, sid in enumerate(sorted(shard_ids))}
-
-    def run(self, cmds_by_shard: "OrderedDict[int, List[Tuple]]") -> Dict[int, List]:
-        per_slot: Dict[int, List[Tuple[int, List[Tuple]]]] = {}
-        for sid, cmds in cmds_by_shard.items():
-            per_slot.setdefault(self._slot_of[sid], []).append((sid, cmds))
-        for slot, entries in per_slot.items():
-            self._conns[slot].send(
-                [cmd for _sid, cmds in entries for cmd in cmds]
-            )
-        results: Dict[int, List] = {}
-        for slot, entries in per_slot.items():
-            status, payload = self._conns[slot].recv()
-            if status != "ok":
-                raise RuntimeError(f"shard worker failed:\n{payload}")
-            pos = 0
-            for sid, cmds in entries:
-                results[sid] = payload[pos : pos + len(cmds)]
-                pos += len(cmds)
-        return results
-
-    def close(self) -> None:
-        for conn in self._conns:
-            try:
-                conn.send(None)
-            except (BrokenPipeError, OSError):  # pragma: no cover
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - crash cleanup only
-                proc.terminate()
-        for conn in self._conns:
-            conn.close()
 
 
 class ShardedJoinEngine:
@@ -175,11 +116,21 @@ class ShardedJoinEngine:
         self.initial_join_cost: Optional[CostSnapshot] = None
 
         shard_ids = list(range(self.partition.n_shards))
-        self._backend = (
-            _PoolBackend(self.workers, shard_ids)
-            if self.workers > 0
-            else _SerialBackend()
-        )
+        if self.workers > 0:
+            #: Supervised multi-process backend (``None`` when serial).
+            self.supervisor: Optional[ShardSupervisor] = ShardSupervisor(
+                self.workers,
+                shard_ids,
+                timeout=self.config.shard_timeout,
+                heartbeat=self.config.shard_heartbeat,
+                checkpoint_interval=self.config.checkpoint_interval,
+                max_retries=self.config.max_retries,
+                fault_spec=self.config.faults,
+            )
+            self._backend = self.supervisor
+        else:
+            self.supervisor = None
+            self._backend = _SerialBackend()
         self._closed = False
         builds: "OrderedDict[int, List[Tuple]]" = OrderedDict()
         for sid in shard_ids:
@@ -451,11 +402,22 @@ class ShardedJoinEngine:
         return store
 
     def cost_rollup(self) -> CostSnapshot:
-        """Sum of the per-shard cumulative cost counters."""
+        """Sum of the per-shard cumulative cost counters.
+
+        After a crash recovery the affected shards' counters restart
+        from the checkpoint rebuild — supervision trades exact cost
+        continuity for state continuity (the result store *is* exact).
+        """
         return _sum_costs(self._fan_all("cost").values())
 
     def shard_costs(self) -> Dict[int, CostSnapshot]:
         return self._fan_all("cost")
+
+    def fault_stats(self) -> Optional[SupervisorStats]:
+        """Supervision counters (``None`` for the serial backend)."""
+        if self.supervisor is None:
+            return None
+        return self.supervisor.stats
 
     def obs_rollup(self) -> Optional[Dict[str, object]]:
         """Merged per-shard obs recordings (``None`` unless config.obs).
@@ -476,13 +438,16 @@ class ShardedJoinEngine:
             shards.append({"shard": sid, "recording": recording})
             for name, value in recording.get("totals", {}).items():
                 totals[name] = totals.get(name, 0) + value
+        meta: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "shards": self.n_shards,
+            "workers": self.workers,
+        }
+        if self.supervisor is not None:
+            meta["supervisor"] = self.supervisor.stats.as_dict()
         return {
             "format": "repro.obs/rollup",
-            "meta": {
-                "algorithm": self.algorithm,
-                "shards": self.n_shards,
-                "workers": self.workers,
-            },
+            "meta": meta,
             "totals": totals,
             "shards": shards,
         }
@@ -506,6 +471,11 @@ class ShardedJoinEngine:
                         "members": list(self._members[oid]),
                     }
                 )
+        supervisor_state = (
+            None
+            if self.supervisor is None
+            else self.supervisor.export_state(now=self.now)
+        )
         return {
             "format": "repro.par/1",
             "algorithm": self.algorithm,
@@ -513,6 +483,7 @@ class ShardedJoinEngine:
             "cuts": list(self.partition.cuts),
             "ghost_horizon": self.ghost_horizon,
             "now": self.now,
+            "supervisor": supervisor_state,
             "objects": objects,
             "shards": [
                 {
@@ -529,10 +500,19 @@ class ShardedJoinEngine:
         }
 
     def validate(self) -> None:
-        """Run the SC401–SC403 shard invariants; raise on any finding."""
-        from ..check.sanitize import check_sharded_state, raise_on_findings
+        """Run the SC401–SC403 shard invariants (plus the SC501–SC503
+        supervisor invariants when supervised); raise on any finding."""
+        from ..check.sanitize import (
+            check_sharded_state,
+            check_supervisor_state,
+            raise_on_findings,
+        )
 
-        raise_on_findings(check_sharded_state(self.export_state()))
+        state = self.export_state()
+        findings = check_sharded_state(state)
+        if state.get("supervisor") is not None:
+            findings = findings + check_supervisor_state(state["supervisor"])
+        raise_on_findings(findings)
 
     # ------------------------------------------------------------------
     # Plumbing

@@ -13,13 +13,27 @@ picklable values (tuples, dicts, :class:`~repro.metrics.CostSnapshot`).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import JoinConfig
 from ..core.engine import ContinuousJoinEngine
+from ..faults import FaultPlan
 from ..objects import MovingObject
 
-__all__ = ["build_spec", "execute", "run_commands", "apply_shard_ops", "serve"]
+__all__ = [
+    "build_spec",
+    "execute",
+    "run_commands",
+    "apply_shard_ops",
+    "serve",
+    "make_checkpoint",
+    "restore_engine",
+    "checkpoint_spec",
+    "CHECKPOINT_FORMAT",
+]
+
+#: Version tag of the picklable checkpoint blob.
+CHECKPOINT_FORMAT = "repro.par.ckpt/1"
 
 #: Per-process registry of shard engines (pool workers only).
 _ENGINES: Dict[int, ContinuousJoinEngine] = {}
@@ -70,6 +84,61 @@ def _dump_store(engine: ContinuousJoinEngine) -> List[Tuple]:
     ]
 
 
+def make_checkpoint(engine: ContinuousJoinEngine) -> Tuple:
+    """Serialize a shard engine into a picklable recovery blob.
+
+    The blob is the *rebuild recipe*, not the structure: the engine's
+    current objects as a build spec referenced at ``engine.now`` plus
+    the exact result-store rows.  A fresh engine built from the spec
+    has the same future behaviour (index shape may differ; search
+    answers are shape-independent) and re-adding the dumped rows
+    reproduces the store bit-for-bit — so checkpoint + op-log replay
+    lands on the exact pre-crash state.
+    """
+    spec = build_spec(
+        list(engine.objects_a.values()),
+        list(engine.objects_b.values()),
+        engine.algorithm,
+        engine.config,
+        engine.now,
+    )
+    return (CHECKPOINT_FORMAT, spec, _dump_store(engine), engine.update_count)
+
+
+def checkpoint_spec(blob: Tuple) -> Tuple:
+    """The build spec embedded in a checkpoint blob."""
+    fmt, spec, _rows, _count = blob
+    if fmt != CHECKPOINT_FORMAT:
+        raise ValueError(f"unknown checkpoint format {fmt!r}")
+    return spec
+
+
+def restore_engine(blob: Tuple) -> ContinuousJoinEngine:
+    """Rebuild a shard engine from a checkpoint blob."""
+    from ..core.result import JoinResultStore  # noqa: F401 (doc anchor)
+    from ..geometry import TimeInterval
+    from ..join import JoinTriple
+
+    fmt, spec, rows, update_count = blob
+    if fmt != CHECKPOINT_FORMAT:
+        raise ValueError(f"unknown checkpoint format {fmt!r}")
+    objects_a, objects_b, algorithm, config, start_time = spec
+    engine = ContinuousJoinEngine(
+        objects_a,
+        objects_b,
+        algorithm=algorithm,
+        config=config,
+        start_time=start_time,
+    )
+    store = engine._strategy.store
+    for key, intervals in rows:
+        for start, end in intervals:
+            store.add(JoinTriple(key[0], key[1], TimeInterval(start, end)))
+    engine.update_count = update_count
+    engine._sanitize()
+    return engine
+
+
 def _prune(engine: ContinuousJoinEngine) -> List[Tuple[int, int]]:
     """Prune expired intervals; returns the pair keys fully dropped."""
     store = engine._strategy.store
@@ -95,6 +164,10 @@ def execute(
                 start_time=start_time,
             )
             out.append(engines[sid].build_cost)
+            continue
+        if op == "restore":
+            engines[sid] = restore_engine(cmd[2])
+            out.append(None)
             continue
         engine = engines[sid]
         if op == "initial_join":
@@ -122,6 +195,8 @@ def execute(
             out.append(engine.tracker.snapshot())
         elif op == "obs":
             out.append(None if engine.obs is None else engine.obs.to_dict())
+        elif op == "checkpoint":
+            out.append(make_checkpoint(engine))
         else:
             raise ValueError(f"unknown shard command {op!r}")
     return out
@@ -132,15 +207,24 @@ def run_commands(cmds: Sequence[Tuple]) -> List[Any]:
     return execute(_ENGINES, cmds)
 
 
-def serve(conn) -> None:
+def serve(conn, fault_spec: Optional[str] = None) -> None:
     """Pipe-worker main loop: answer command batches until told to stop.
 
     Each request is one picklable command list; the reply is
     ``("ok", results)`` or ``("error", traceback_text)`` — errors are
     reported rather than killing the worker, so the engine state held
     in :data:`_ENGINES` survives a failed command for post-mortem
-    commands.  A ``None`` request (or a closed pipe) shuts down.
+    commands.  A result that cannot be pickled is downgraded to a
+    structured ``("error", …)`` reply too, so the request/reply framing
+    never desyncs.  A ``None`` request (or a closed pipe) shuts down.
+
+    ``fault_spec`` arms deterministic fault injection
+    (:mod:`repro.faults`): ``None`` reads ``REPRO_FAULTS`` from the
+    environment, the empty string disarms entirely (the supervisor
+    passes ``""`` on respawn so injected crashes cannot re-fire during
+    recovery).
     """
+    plan = FaultPlan.from_env() if fault_spec is None else FaultPlan.parse(fault_spec)
     while True:
         try:
             cmds = conn.recv()
@@ -149,9 +233,24 @@ def serve(conn) -> None:
         if cmds is None:
             break
         try:
-            conn.send(("ok", run_commands(cmds)))
-        except Exception:  # pragma: no cover - exercised via pool tests
+            if plan:
+                for cmd in cmds:
+                    plan.before_command(cmd)
+            results = run_commands(cmds)
+            if plan:
+                plan.poison_results(cmds, results)
+            reply = ("ok", results)
+        except Exception:  # noqa: BLE001 - reported, not swallowed
             import traceback
 
-            conn.send(("error", traceback.format_exc()))
+            reply = ("error", traceback.format_exc())
+        try:
+            conn.send(reply)
+        except Exception:  # unpicklable result: keep the framing intact
+            import traceback
+
+            try:
+                conn.send(("error", traceback.format_exc()))
+            except Exception:  # pragma: no cover - parent pipe gone
+                break
     conn.close()

@@ -14,13 +14,14 @@ from .column_pages import (
     save_column_store,
     save_columns,
 )
-from .disk import DEFAULT_PAGE_SIZE, DiskManager, PageError
+from .disk import DEFAULT_PAGE_SIZE, CorruptPageError, DiskManager, PageError
 from .file_disk import FileDiskManager
 from .serializer import BytesCodec, StructReader, StructWriter
 
 __all__ = [
     "DEFAULT_PAGE_SIZE",
     "DEFAULT_BUFFER_PAGES",
+    "CorruptPageError",
     "DiskManager",
     "FileDiskManager",
     "PageError",

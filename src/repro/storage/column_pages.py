@@ -14,19 +14,28 @@ model.
 
 Layout: every page payload starts with an 8-byte little-endian *next*
 page id (``-1`` ends the chain) followed by the next slice of the
-stream.  The stream itself is ``magic, n`` then the raw column bytes in
-a fixed order (``oid``, ``tref``, then each bound row of ``mlo, mhi,
+stream.  The stream itself is a header then the raw column bytes in a
+fixed order (``oid``, ``tref``, then each bound row of ``mlo, mhi,
 vlo, vhi``), so a round trip is byte-exact.
+
+Stream versions: version-2 streams (magic ``RPROCOL2``) carry a version
+byte, the exact column-payload length, and a CRC32 of the payload,
+verified on load — a truncated chain or a flipped bit raises
+:class:`~repro.storage.disk.CorruptPageError` instead of decoding
+garbage.  Legacy version-1 streams (magic ``RPROCOLS``, header only)
+stay loadable; new streams are always written as version 2.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import List
 
 import numpy as np
 
 from ..geometry.box import NDIMS
+from .disk import CorruptPageError
 
 __all__ = [
     "save_columns",
@@ -36,8 +45,11 @@ __all__ = [
     "load_column_store",
 ]
 
-_MAGIC = b"RPROCOLS"
-_HEAD = struct.Struct("<8sqq")  # magic, n rows, ndims
+_MAGIC_V1 = b"RPROCOLS"
+_MAGIC_V2 = b"RPROCOL2"
+_HEAD_V1 = struct.Struct("<8sqq")  # magic, n rows, ndims
+_HEAD_V2 = struct.Struct("<8sBqqqI")  # magic, version, n, ndims, len, crc
+_VERSION = 2
 _NEXT = struct.Struct("<q")
 _END = -1
 
@@ -45,7 +57,7 @@ _END = -1
 def _encode(cols) -> bytes:
     """The column batch as one contiguous little-endian byte stream."""
     n = len(cols)
-    parts: List[bytes] = [_HEAD.pack(_MAGIC, n, NDIMS)]
+    parts: List[bytes] = []
     parts.append(np.ascontiguousarray(cols.oid, dtype="<i8").tobytes())
     parts.append(np.ascontiguousarray(cols.tref, dtype="<f8").tobytes())
     for column in (cols.mlo, cols.mhi, cols.vlo, cols.vhi):
@@ -53,19 +65,44 @@ def _encode(cols) -> bytes:
             parts.append(
                 np.ascontiguousarray(column[dim], dtype="<f8").tobytes()
             )
-    return b"".join(parts)
+    payload = b"".join(parts)
+    head = _HEAD_V2.pack(
+        _MAGIC_V2, _VERSION, n, NDIMS, len(payload), zlib.crc32(payload)
+    )
+    return head + payload
 
 
 def _decode(stream: bytes):
-    """Inverse of :func:`_encode`; returns ``UpdateColumns``."""
+    """Inverse of :func:`_encode`; returns ``UpdateColumns``.
+
+    Accepts both the current checksummed version-2 streams and legacy
+    version-1 streams (header without integrity fields).
+    """
     from ..core.columns import UpdateColumns
 
-    magic, n, ndims = _HEAD.unpack_from(stream, 0)
-    if magic != _MAGIC:
+    magic = stream[:8] if len(stream) >= 8 else b""
+    if magic == _MAGIC_V2:
+        if len(stream) < _HEAD_V2.size:
+            raise CorruptPageError("column stream header truncated")
+        _, version, n, ndims, length, crc = _HEAD_V2.unpack_from(stream, 0)
+        if version != _VERSION:
+            raise ValueError(f"unsupported column-stream version {version}")
+        payload = stream[_HEAD_V2.size : _HEAD_V2.size + length]
+        if len(payload) < length:
+            raise CorruptPageError(
+                f"column stream truncated: expected {length} payload "
+                f"bytes, found {len(payload)}"
+            )
+        if zlib.crc32(payload) != crc:
+            raise CorruptPageError("column stream failed its CRC32 check")
+        pos = _HEAD_V2.size
+    elif magic == _MAGIC_V1:
+        _, n, ndims = _HEAD_V1.unpack_from(stream, 0)
+        pos = _HEAD_V1.size
+    else:
         raise ValueError("not a column-page stream")
     if ndims != NDIMS:
         raise ValueError(f"stream has {ndims} dimensions, library has {NDIMS}")
-    pos = _HEAD.size
     oid = np.frombuffer(stream, dtype="<i8", count=n, offset=pos).astype(np.int64)
     pos += 8 * n
     tref = np.frombuffer(stream, dtype="<f8", count=n, offset=pos).astype(float)
@@ -86,7 +123,8 @@ def _decode(stream: bytes):
 def save_columns(disk, cols) -> int:
     """Persist one column batch; returns the root page id of the chain."""
     stream = _encode(cols)
-    chunk = disk.page_size - 4 - _NEXT.size
+    usable = getattr(disk, "usable_page_size", disk.page_size - 4)
+    chunk = min(disk.page_size - 4, usable) - _NEXT.size
     if chunk <= 0:
         raise ValueError("page size too small for column pages")
     n_pages = max(1, -(-len(stream) // chunk))

@@ -10,21 +10,35 @@ File layout: a small header page (magic, page size, page count,
 free-list head) followed by data pages at offset
 ``HEADER + page_id * page_size``.  Freed pages are chained through
 their first 8 bytes.
+
+Format versions
+---------------
+Version 2 files (magic ``RPRODSK2``) frame every data page as
+``length, crc32, payload`` and verify the checksum on each
+:meth:`~FileDiskManager.read_page`, raising
+:class:`~repro.storage.disk.CorruptPageError` on a flipped bit or a
+truncated page.  Version 1 files (magic ``RPRODISK``, length-only
+framing) remain fully readable and writable — the version is detected
+from the magic on open, and new files are always created as version 2.
 """
 
 from __future__ import annotations
 
 import os
 import struct
+import zlib
 from typing import Optional
 
 from ..metrics import CostTracker
-from .disk import DEFAULT_PAGE_SIZE, PageError
+from .disk import DEFAULT_PAGE_SIZE, CorruptPageError, PageError
 
 __all__ = ["FileDiskManager"]
 
-_MAGIC = b"RPRODISK"
+_MAGIC_V1 = b"RPRODISK"
+_MAGIC_V2 = b"RPRODSK2"
 _HEADER = struct.Struct("<8sqqq")  # magic, page_size, next_id, free_head
+_PAGE_V1 = struct.Struct("<i")  # payload length
+_PAGE_V2 = struct.Struct("<iI")  # payload length, crc32(payload)
 _FREE_LINK = struct.Struct("<q")
 _NO_FREE = -1
 
@@ -52,7 +66,7 @@ class FileDiskManager:
         page_size: int = DEFAULT_PAGE_SIZE,
         tracker: Optional[CostTracker] = None,
     ):
-        if page_size <= _FREE_LINK.size:
+        if page_size <= _PAGE_V2.size:
             raise ValueError("page_size too small")
         self.path = path
         self.tracker = tracker if tracker is not None else CostTracker()
@@ -66,6 +80,7 @@ class FileDiskManager:
                 )
         else:
             self.page_size = page_size
+            self.format_version = 2
             self._next_id = 0
             self._free_head = _NO_FREE
             self._store_header()
@@ -89,7 +104,10 @@ class FileDiskManager:
         else:
             pid = self._next_id
             self._next_id += 1
-            self._write_raw(pid, b"")
+        # Clear the page so a recycled slot never exposes a stale free
+        # link as its framing header (all-zero framing decodes as the
+        # empty payload in both versions: crc32(b"") == 0).
+        self._write_raw(pid, b"")
         self._allocated.add(pid)
         self._store_header()
         return pid
@@ -105,22 +123,45 @@ class FileDiskManager:
         self._check(page_id)
         self.tracker.count_read()
         data = self._read_raw(page_id)
-        length = struct.unpack_from("<i", data, 0)[0]
-        return bytes(data[4 : 4 + length])
+        if self.format_version >= 2:
+            length, crc = _PAGE_V2.unpack_from(data, 0)
+            if length < 0 or length > self.page_size - _PAGE_V2.size:
+                raise CorruptPageError(
+                    f"{self.path}: page {page_id} has invalid payload "
+                    f"length {length}"
+                )
+            payload = bytes(data[_PAGE_V2.size : _PAGE_V2.size + length])
+            if zlib.crc32(payload) != crc:
+                raise CorruptPageError(
+                    f"{self.path}: page {page_id} failed its CRC32 check"
+                )
+            return payload
+        length = _PAGE_V1.unpack_from(data, 0)[0]
+        return bytes(data[_PAGE_V1.size : _PAGE_V1.size + length])
 
     def write_page(self, page_id: int, data: bytes) -> None:
         self._check(page_id)
-        if len(data) > self.page_size - 4:
+        if len(data) > self.usable_page_size:
             raise PageError(
                 f"payload of {len(data)} bytes exceeds usable page size "
-                f"{self.page_size - 4}"
+                f"{self.usable_page_size}"
             )
         self.tracker.count_write()
-        self._write_raw(page_id, struct.pack("<i", len(data)) + data)
+        if self.format_version >= 2:
+            framed = _PAGE_V2.pack(len(data), zlib.crc32(data)) + data
+        else:
+            framed = _PAGE_V1.pack(len(data)) + data
+        self._write_raw(page_id, framed)
 
     @property
     def num_pages(self) -> int:
         return len(self._allocated)
+
+    @property
+    def usable_page_size(self) -> int:
+        """Payload bytes one page can hold after framing overhead."""
+        frame = _PAGE_V2.size if self.format_version >= 2 else _PAGE_V1.size
+        return self.page_size - frame
 
     def is_allocated(self, page_id: int) -> bool:
         return page_id in self._allocated
@@ -160,9 +201,10 @@ class FileDiskManager:
             raise PageError(f"page {page_id} is not allocated")
 
     def _store_header(self) -> None:
+        magic = _MAGIC_V2 if self.format_version >= 2 else _MAGIC_V1
         self._file.seek(0)
         self._file.write(
-            _HEADER.pack(_MAGIC, self.page_size, self._next_id, self._free_head)
+            _HEADER.pack(magic, self.page_size, self._next_id, self._free_head)
         )
 
     def _load_header(self) -> None:
@@ -170,7 +212,11 @@ class FileDiskManager:
         magic, page_size, next_id, free_head = _HEADER.unpack(
             self._file.read(_HEADER.size)
         )
-        if magic != _MAGIC:
+        if magic == _MAGIC_V2:
+            self.format_version = 2
+        elif magic == _MAGIC_V1:
+            self.format_version = 1
+        else:
             raise PageError(f"{self.path} is not a repro page file")
         self.page_size = page_size
         self._next_id = next_id
@@ -179,5 +225,5 @@ class FileDiskManager:
     def __repr__(self) -> str:
         return (
             f"FileDiskManager(path={self.path!r}, pages={self.num_pages}, "
-            f"page_size={self.page_size})"
+            f"page_size={self.page_size}, v{self.format_version})"
         )

@@ -11,6 +11,7 @@ from repro.check import (
     InvariantViolation,
     check_mtb_forest,
     check_result_store,
+    check_supervisor_state,
     check_tpr_tree,
 )
 from repro.check.cli import main
@@ -252,3 +253,93 @@ class TestSanitizeCLI:
         save_forest(build_forest(), str(tmp_path / "forest"))
         out = io.StringIO()
         assert main(["sanitize", str(tmp_path / "forest")], out=out) == 0
+
+
+def supervisor_state(shard=None, slot=None, **top):
+    """A clean supervisor export, with targeted overrides per test."""
+    shard_entry = {
+        "shard": 0,
+        "slot": 0,
+        "degraded": False,
+        "epoch": 1,
+        "oplog_len": 2,
+        "oplog_ops": ["tick", "ops"],
+        "checkpoint": {"kind": "restore", "epoch": 1, "now": 3.0},
+    }
+    if shard:
+        shard_entry.update(shard)
+    slot_entry = {"slot": 0, "alive": True, "degraded": False}
+    if slot:
+        slot_entry.update(slot)
+    state = {
+        "format": "repro.par.supervisor/1",
+        "now": 5.0,
+        "checkpoint_interval": 4,
+        "slots": [slot_entry],
+        "shards": [shard_entry],
+    }
+    state.update(top)
+    return state
+
+
+class TestSupervisorState:
+    """SC501–SC503: supervision invariants over exported state."""
+
+    def test_clean_state_has_no_findings(self):
+        assert check_supervisor_state(supervisor_state()) == []
+
+    def test_unknown_format_flagged(self):
+        found = check_supervisor_state(supervisor_state(format="bogus/9"))
+        assert codes(found) == {"SC501"}
+
+    def test_sc501_overlong_oplog(self):
+        found = check_supervisor_state(
+            supervisor_state(shard={"oplog_len": 9})
+        )
+        assert "SC501" in codes(found)
+
+    def test_sc501_non_mutating_command_logged(self):
+        found = check_supervisor_state(
+            supervisor_state(shard={"oplog_ops": ["tick", "pairs_at"]})
+        )
+        assert "SC501" in codes(found)
+
+    def test_sc502_epoch_disagreement(self):
+        found = check_supervisor_state(
+            supervisor_state(
+                shard={"checkpoint": {"kind": "restore", "epoch": 0, "now": 3.0}}
+            )
+        )
+        assert codes(found) == {"SC502"}
+
+    def test_sc502_checkpoint_ahead_of_clock(self):
+        found = check_supervisor_state(
+            supervisor_state(
+                shard={"checkpoint": {"kind": "restore", "epoch": 1, "now": 9.0}}
+            )
+        )
+        assert codes(found) == {"SC502"}
+
+    def test_sc502_log_without_replay_base(self):
+        found = check_supervisor_state(
+            supervisor_state(shard={"checkpoint": None})
+        )
+        assert codes(found) == {"SC502"}
+
+    def test_sc503_unknown_slot(self):
+        found = check_supervisor_state(supervisor_state(shard={"slot": 7}))
+        assert codes(found) == {"SC503"}
+
+    def test_sc503_dead_slot(self):
+        found = check_supervisor_state(
+            supervisor_state(slot={"alive": False})
+        )
+        assert codes(found) == {"SC503"}
+
+    def test_degraded_shard_needs_no_live_slot(self):
+        found = check_supervisor_state(
+            supervisor_state(
+                shard={"degraded": True}, slot={"alive": False, "degraded": True}
+            )
+        )
+        assert found == []

@@ -59,9 +59,10 @@ class TestFileDisk:
     def test_oversize_rejected(self, path):
         disk = FileDiskManager(path, page_size=64)
         pid = disk.allocate()
+        limit = disk.usable_page_size
         with pytest.raises(PageError):
-            disk.write_page(pid, b"x" * 61)
-        disk.write_page(pid, b"x" * 60)
+            disk.write_page(pid, b"x" * (limit + 1))
+        disk.write_page(pid, b"x" * limit)
         disk.close()
 
     def test_wrong_magic_rejected(self, path):
