@@ -4,8 +4,12 @@ Subcommands
 -----------
 
 ``lint PATH...``
-    Run the RC001–RC006 domain lint over files or directory trees.
+    Run the RC000–RC006 domain lint over files or directory trees.
     Prints one line per finding; exits 1 when anything is found.
+``flow PATH...``
+    Run the cross-module flow analysis (RC1xx/RC2xx) over package
+    source roots: shard-protocol completeness, kernel-triple parity,
+    and error-code registry consistency.  Exits 1 on any finding.
 ``sanitize PATH...``
     Audit persisted join state: a ``.db`` file saved with
     :func:`repro.index.save_tree`, a directory holding a forest
@@ -18,6 +22,7 @@ Subcommands
 Examples::
 
     python -m repro.check lint src/
+    python -m repro.check flow src/ --format json
     python -m repro.check sanitize /tmp/tree.db --at 12.5
     python -m repro.check sanitize /tmp/sharded_state.json
 """
@@ -25,12 +30,14 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .errors import Finding
+from .flow import flow_paths
 from .lint import lint_paths
 from .sanitize import check_index, check_sharded_state
 
@@ -46,9 +53,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_lint = sub.add_parser("lint", help="static domain lint (RC001-RC006)")
+    p_lint = sub.add_parser("lint", help="static domain lint (RC000-RC006)")
     p_lint.add_argument("paths", nargs="+", metavar="PATH",
                         help="files or directories to lint")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+
+    p_flow = sub.add_parser("flow",
+                            help="cross-module flow analysis (RC1xx/RC2xx): "
+                                 "shard protocol, kernel triple, code registry")
+    p_flow.add_argument("paths", nargs="+", metavar="PATH",
+                        help="package source roots (e.g. src/)")
+    p_flow.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
 
     p_san = sub.add_parser("sanitize",
                            help="audit a persisted tree/forest or a sharded "
@@ -85,7 +102,18 @@ def _audit(path: str, at: Optional[float]) -> List[Finding]:
     return check_index(index, at, label=label)
 
 
-def _report(findings: Sequence[Finding], out, what: str) -> int:
+def _report(findings: Sequence[Finding], out, what: str,
+            fmt: str = "text") -> int:
+    if fmt == "json":
+        out.write(json.dumps({
+            "check": what,
+            "count": len(findings),
+            "findings": [
+                {"code": f.code, "message": f.message, "location": f.location}
+                for f in findings
+            ],
+        }, indent=2) + "\n")
+        return 1 if findings else 0
     for finding in findings:
         out.write(f"{finding}\n")
     if findings:
@@ -101,7 +129,11 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         out = sys.stdout
     args = build_parser().parse_args(argv)
     if args.command == "lint":
-        return _report(lint_paths(Path(p) for p in args.paths), out, "lint")
+        return _report(lint_paths(Path(p) for p in args.paths), out, "lint",
+                       args.format)
+    if args.command == "flow":
+        return _report(flow_paths(Path(p) for p in args.paths), out, "flow",
+                       args.format)
     findings: List[Finding] = []
     for path in args.paths:
         findings.extend(_audit(path, args.at))

@@ -37,6 +37,7 @@ Sanitizer codes (``SCxxx``, checked at runtime against live structures):
 Lint codes (``RCxxx``, checked statically over source files):
 
 ========  ============================================================
+``RC000``  file does not parse (syntax error)
 ``RC001``  raw float ``==``/``!=`` on time/coordinate values
 ``RC002``  wall-clock call or import inside core/join/index
 ``RC003``  mutable default argument
@@ -44,6 +45,29 @@ Lint codes (``RCxxx``, checked statically over source files):
 ``RC005``  public ``geometry/`` function missing type annotations
 ``RC006``  pair-test tolerance not sourced from ``geometry.constants``
 ========  ============================================================
+
+Flow codes (``RC1xx``/``RC2xx``, checked statically *across* modules
+by :mod:`repro.check.flow`):
+
+========  ============================================================
+``RC101``  protocol/emitted op without a dispatch arm
+``RC102``  dispatch arm for an op missing from the protocol registry
+``RC103``  dispatch arm mutates state but its op is not ``mutating``
+``RC104``  checkpoint produced/consumed key mismatch
+``RC105``  fault spec names an unknown fault kind or command op
+``RC106``  bare op-name string literal outside ``par/protocol.py``
+``RC107``  worker dispatch present without a protocol module
+``RC201``  kernel facade/NumPy signature drift
+``RC202``  tolerance constant not sourced from ``geometry.constants``
+``RC203``  kernel variant missing or wired to the facade out of order
+``RC211``  duplicate or retired-and-reused error code
+``RC212``  code raised in source but unregistered / undocumented
+``RC213``  registered code never referenced by a detection test
+========  ============================================================
+
+Codes are never recycled: a code that is dropped from a live registry
+moves to :data:`RETIRED_CODES` permanently, and the flow lint's
+``RC211`` enforces that it never reappears.
 """
 
 from __future__ import annotations
@@ -51,7 +75,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
-__all__ = ["Finding", "InvariantViolation", "SANITIZER_CODES", "LINT_CODES"]
+__all__ = [
+    "Finding",
+    "InvariantViolation",
+    "SANITIZER_CODES",
+    "LINT_CODES",
+    "FLOW_CODES",
+    "RETIRED_CODES",
+]
 
 SANITIZER_CODES = (
     "SC101", "SC102", "SC103", "SC104",
@@ -62,7 +93,18 @@ SANITIZER_CODES = (
     "SC601", "SC602", "SC603",
 )
 
-LINT_CODES = ("RC001", "RC002", "RC003", "RC004", "RC005", "RC006")
+LINT_CODES = ("RC000", "RC001", "RC002", "RC003", "RC004", "RC005", "RC006")
+
+FLOW_CODES = (
+    "RC101", "RC102", "RC103", "RC104", "RC105", "RC106", "RC107",
+    "RC201", "RC202", "RC203",
+    "RC211", "RC212", "RC213",
+)
+
+#: Codes permanently removed from the live registries.  Never reuse a
+#: retired code for a new check — historical findings and docs keep
+#: their meaning.  Enforced statically by the flow lint (``RC211``).
+RETIRED_CODES = ()
 
 
 @dataclass(frozen=True)

@@ -112,6 +112,15 @@ class Fault:
         return True
 
 
+def _known_ops() -> frozenset:
+    """Op names an ``op=`` filter may name (lazy: the protocol module
+    sits below :mod:`repro.par`, which imports this module at package
+    init — resolving it at parse time avoids the cycle)."""
+    from .par.protocol import known_fault_ops
+
+    return known_fault_ops()
+
+
 def _parse_entry(entry: str) -> Fault:
     kind, _, rest = entry.partition(":")
     kwargs = {}
@@ -122,7 +131,12 @@ def _parse_entry(entry: str) -> Fault:
             if not sep or key not in ("op", "shard", "nth", "seconds"):
                 raise ValueError(f"bad fault field {pair!r} in {entry!r}")
             if key == "op":
-                kwargs[key] = value.strip()
+                op = value.strip()
+                if op not in _known_ops():
+                    raise ValueError(
+                        f"unknown command op {op!r} in fault entry {entry!r}"
+                    )
+                kwargs[key] = op
             elif key == "seconds":
                 kwargs[key] = float(value)
             else:

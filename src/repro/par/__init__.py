@@ -10,11 +10,15 @@
   round-trip timeouts with liveness heartbeats, respawn plus
   deterministic checkpoint/op-log replay recovery, and graceful
   degradation to in-process execution;
-* :mod:`repro.par.worker` — the shard command protocol shared by all
+* :mod:`repro.par.protocol` — the declared command vocabulary (op
+  constants, per-op arity, the derived ``MUTATING_OPS``) every backend
+  and the fault grammar share;
+* :mod:`repro.par.worker` — the shard command dispatch shared by all
   backends (including the checkpoint/restore recovery commands).
 """
 
 from .partition import StripePartition
+from .protocol import COMMANDS, MUTATING_OPS, OPS
 from .sharded import SHARDABLE_ALGORITHMS, ShardedJoinEngine
 from .supervisor import (
     ShardCommandError,
@@ -27,6 +31,9 @@ from .supervisor import (
 
 __all__ = [
     "StripePartition",
+    "COMMANDS",
+    "OPS",
+    "MUTATING_OPS",
     "ShardedJoinEngine",
     "SHARDABLE_ALGORITHMS",
     "ShardSupervisor",

@@ -48,6 +48,21 @@ from ..metrics import CostSnapshot
 from ..objects import MovingObject
 from . import worker
 from .partition import StripePartition
+from .protocol import (
+    OP_BUILD,
+    OP_COST,
+    OP_INITIAL_JOIN,
+    OP_OBJECTS,
+    OP_OBS,
+    OP_OPS,
+    OP_PAIRS_AT,
+    OP_PRUNE,
+    OP_STORE_DUMP,
+    OP_TICK,
+    SHARD_OP_ADMIT,
+    SHARD_OP_EVICT,
+    SHARD_OP_UPDATE,
+)
 from .supervisor import ShardSupervisor, SupervisorStats
 
 __all__ = ["ShardedJoinEngine", "SHARDABLE_ALGORITHMS"]
@@ -143,7 +158,7 @@ class ShardedJoinEngine:
             spec = worker.build_spec(
                 subset_a, subset_b, algorithm, self.config, self.start_time
             )
-            builds[sid] = [("build", sid, spec)]
+            builds[sid] = [(OP_BUILD, sid, spec)]
         built = self._backend.run(builds)
         self.build_cost = _sum_costs(res[0] for res in built.values())
 
@@ -182,7 +197,7 @@ class ShardedJoinEngine:
     # Engine API (mirrors ContinuousJoinEngine)
     # ------------------------------------------------------------------
     def run_initial_join(self) -> CostSnapshot:
-        results = self._fan_all("initial_join")
+        results = self._fan_all(OP_INITIAL_JOIN)
         self.initial_join_cost = _sum_costs(results.values())
         if self.config.sanitize:
             self.validate()
@@ -192,7 +207,7 @@ class ShardedJoinEngine:
         if t < self.now:
             raise ValueError(f"time went backwards: {t} < {self.now}")
         self.now = t
-        self._run_everywhere(("tick", None, t))
+        self._run_everywhere((OP_TICK, None, t))
 
     def apply_update(self, obj: MovingObject) -> None:
         self.apply_updates([obj])
@@ -209,7 +224,7 @@ class ShardedJoinEngine:
         """
         ops = self._route_updates(batch)
         cmds = OrderedDict(
-            (sid, [("ops", sid, shard_ops)])
+            (sid, [(OP_OPS, sid, shard_ops)])
             for sid, shard_ops in ops.items()
             if shard_ops
         )
@@ -233,10 +248,10 @@ class ShardedJoinEngine:
         ops = self._route_updates(batch)
         cmds: "OrderedDict[int, List[Tuple]]" = OrderedDict()
         for sid in range(self.n_shards):
-            shard_cmds: List[Tuple] = [("tick", sid, t)]
+            shard_cmds: List[Tuple] = [(OP_TICK, sid, t)]
             if ops[sid]:
-                shard_cmds.append(("ops", sid, ops[sid]))
-            shard_cmds.append(("pairs_at", sid, t))
+                shard_cmds.append((OP_OPS, sid, ops[sid]))
+            shard_cmds.append((OP_PAIRS_AT, sid, t))
             cmds[sid] = shard_cmds
         results = self._backend.run(cmds)
         if self.config.sanitize:
@@ -291,15 +306,15 @@ class ShardedJoinEngine:
                 self._members[oid] = new
                 for sid in old:
                     if sid not in new:
-                        ops[sid].append(("evict", oid))
+                        ops[sid].append((SHARD_OP_EVICT, oid))
                 for sid in new:
                     if sid in old:
-                        ops[sid].append(("update", obj))
+                        ops[sid].append((SHARD_OP_UPDATE, obj))
                     else:
-                        ops[sid].append(("admit", obj, dataset))
+                        ops[sid].append((SHARD_OP_ADMIT, obj, dataset))
                 self.update_count += 1
         cmds = OrderedDict(
-            (sid, [("ops", sid, shard_ops)])
+            (sid, [(OP_OPS, sid, shard_ops)])
             for sid, shard_ops in ops.items()
             if shard_ops
         )
@@ -349,12 +364,12 @@ class ShardedJoinEngine:
             self._members[obj.oid] = new
             for sid in old:
                 if sid not in new:
-                    ops[sid].append(("evict", obj.oid))
+                    ops[sid].append((SHARD_OP_EVICT, obj.oid))
             for sid in new:
                 if sid in old:
-                    ops[sid].append(("update", obj))
+                    ops[sid].append((SHARD_OP_UPDATE, obj))
                 else:
-                    ops[sid].append(("admit", obj, dataset))
+                    ops[sid].append((SHARD_OP_ADMIT, obj, dataset))
             self.update_count += 1
         return ops
 
@@ -367,14 +382,14 @@ class ShardedJoinEngine:
                 "result_at only answers the present of the engine clock"
             )
         answer: Set[PairKey] = set()
-        for pairs in self._fan_all("pairs_at", t).values():
+        for pairs in self._fan_all(OP_PAIRS_AT, t).values():
             answer |= pairs
         return answer
 
     def prune_expired(self) -> int:
         """Prune every shard store; returns distinct pairs fully dropped."""
         dropped: Set[PairKey] = set()
-        for keys in self._fan_all("prune").values():
+        for keys in self._fan_all(OP_PRUNE).values():
             dropped.update(keys)
         return len(dropped)
 
@@ -383,7 +398,7 @@ class ShardedJoinEngine:
     # ------------------------------------------------------------------
     def store_dumps(self) -> Dict[int, List[Tuple]]:
         """Per-shard result-store contents (exact interval endpoints)."""
-        return self._fan_all("store_dump")
+        return self._fan_all(OP_STORE_DUMP)
 
     def merged_store(self):
         """One :class:`~repro.core.result.JoinResultStore` equal to the
@@ -408,10 +423,10 @@ class ShardedJoinEngine:
         from the checkpoint rebuild — supervision trades exact cost
         continuity for state continuity (the result store *is* exact).
         """
-        return _sum_costs(self._fan_all("cost").values())
+        return _sum_costs(self._fan_all(OP_COST).values())
 
     def shard_costs(self) -> Dict[int, CostSnapshot]:
-        return self._fan_all("cost")
+        return self._fan_all(OP_COST)
 
     def fault_stats(self) -> Optional[SupervisorStats]:
         """Supervision counters (``None`` for the serial backend)."""
@@ -428,7 +443,7 @@ class ShardedJoinEngine:
         """
         if not self.config.obs:
             return None
-        recordings = self._fan_all("obs")
+        recordings = self._fan_all(OP_OBS)
         totals: Dict[str, float] = {}
         shards = []
         for sid in sorted(recordings):
@@ -457,7 +472,7 @@ class ShardedJoinEngine:
     # ------------------------------------------------------------------
     def export_state(self) -> Dict[str, object]:
         """A JSON-safe snapshot for the SC401–SC403 shard sanitizer."""
-        contents = self._fan_all("objects")
+        contents = self._fan_all(OP_OBJECTS)
         dumps = self.store_dumps()
         objects = []
         for dataset, registry in (("a", self.objects_a), ("b", self.objects_b)):

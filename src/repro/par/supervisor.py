@@ -44,6 +44,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..faults import FaultPlan
 from ..metrics import monotonic_clock
 from . import worker
+from .protocol import BASE_OPS, OP_BUILD, OP_CHECKPOINT, OP_RESTORE
+
+#: Commands that change shard state and therefore enter the op log
+#: (everything else is a read and can simply be re-asked).  Derived
+#: from the declared command vocabulary — re-exported here because the
+#: op log is where the flag matters.
+from .protocol import MUTATING_OPS  # noqa: F401 (re-export)
 
 __all__ = [
     "ShardSupervisor",
@@ -54,12 +61,6 @@ __all__ = [
     "ShardCommandError",
     "MUTATING_OPS",
 ]
-
-#: Commands that change shard state and therefore enter the op log
-#: (everything else is a read and can simply be re-asked).
-MUTATING_OPS = frozenset(
-    {"build", "restore", "initial_join", "tick", "ops", "prune"}
-)
 
 
 class ShardFailure(RuntimeError):
@@ -409,7 +410,7 @@ class ShardSupervisor:
             op, sid = cmd[0], cmd[1]
             if op not in MUTATING_OPS:
                 continue
-            if op in ("build", "restore"):
+            if op in BASE_OPS:
                 self._set_base(sid, cmd)
             elif sid not in self._local:
                 # Degraded shards live in-process: their state cannot
@@ -417,7 +418,7 @@ class ShardSupervisor:
                 self._oplog[sid].append(cmd)
 
     def _set_base(self, sid: int, cmd: Tuple) -> None:
-        spec = cmd[2] if cmd[0] == "build" else worker.checkpoint_spec(cmd[2])
+        spec = cmd[2] if cmd[0] == OP_BUILD else worker.checkpoint_spec(cmd[2])
         self._base[sid] = cmd
         self._base_epoch[sid] = self._epochs[sid]
         self._base_now[sid] = spec[4]  # build-spec start_time
@@ -429,7 +430,7 @@ class ShardSupervisor:
             if len(log) < self.checkpoint_interval or sid in self._local:
                 continue
             slot = self._slots[self._slot_of[sid]]
-            cmd = ("checkpoint", sid)
+            cmd = (OP_CHECKPOINT, sid)
             if slot.degraded:
                 blob = worker.execute(self._local, [cmd])[0]
             else:
@@ -440,7 +441,7 @@ class ShardSupervisor:
                 except ShardFailure as exc:
                     blob = self._recover(slot, [cmd], exc)[0]
             self._epochs[sid] += 1
-            self._set_base(sid, ("restore", sid, blob))
+            self._set_base(sid, (OP_RESTORE, sid, blob))
             self.stats.checkpoints += 1
 
     # ------------------------------------------------------------------

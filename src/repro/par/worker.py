@@ -19,6 +19,24 @@ from ..core.config import JoinConfig
 from ..core.engine import ContinuousJoinEngine
 from ..faults import FaultPlan
 from ..objects import MovingObject
+from .protocol import (
+    COMMANDS,
+    OP_BUILD,
+    OP_CHECKPOINT,
+    OP_COST,
+    OP_INITIAL_JOIN,
+    OP_OBJECTS,
+    OP_OBS,
+    OP_OPS,
+    OP_PAIRS_AT,
+    OP_PRUNE,
+    OP_RESTORE,
+    OP_STORE_DUMP,
+    OP_TICK,
+    SHARD_OP_ADMIT,
+    SHARD_OP_EVICT,
+    SHARD_OP_UPDATE,
+)
 
 __all__ = [
     "build_spec",
@@ -32,8 +50,10 @@ __all__ = [
     "CHECKPOINT_FORMAT",
 ]
 
-#: Version tag of the picklable checkpoint blob.
-CHECKPOINT_FORMAT = "repro.par.ckpt/1"
+#: Version tag of the picklable checkpoint blob.  ``/2`` switched the
+#: blob from a positional tuple to explicit dict keys so producers and
+#: consumers can be cross-checked statically (RC104).
+CHECKPOINT_FORMAT = "repro.par.ckpt/2"
 
 #: Per-process registry of shard engines (pool workers only).
 _ENGINES: Dict[int, ContinuousJoinEngine] = {}
@@ -64,11 +84,11 @@ def apply_shard_ops(engine: ContinuousJoinEngine, ops: Sequence[Tuple]) -> None:
     evictions: List[int] = []
     for op in ops:
         kind = op[0]
-        if kind == "update":
+        if kind == SHARD_OP_UPDATE:
             updates.append(op[1])
-        elif kind == "admit":
+        elif kind == SHARD_OP_ADMIT:
             admissions.append((op[1], op[2]))
-        elif kind == "evict":
+        elif kind == SHARD_OP_EVICT:
             evictions.append(op[1])
         else:
             raise ValueError(f"unknown shard op {kind!r}")
@@ -84,7 +104,7 @@ def _dump_store(engine: ContinuousJoinEngine) -> List[Tuple]:
     ]
 
 
-def make_checkpoint(engine: ContinuousJoinEngine) -> Tuple:
+def make_checkpoint(engine: ContinuousJoinEngine) -> Dict:
     """Serialize a shard engine into a picklable recovery blob.
 
     The blob is the *rebuild recipe*, not the structure: the engine's
@@ -102,27 +122,36 @@ def make_checkpoint(engine: ContinuousJoinEngine) -> Tuple:
         engine.config,
         engine.now,
     )
-    return (CHECKPOINT_FORMAT, spec, _dump_store(engine), engine.update_count)
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "spec": spec,
+        "rows": _dump_store(engine),
+        "update_count": engine.update_count,
+    }
 
 
-def checkpoint_spec(blob: Tuple) -> Tuple:
-    """The build spec embedded in a checkpoint blob."""
-    fmt, spec, _rows, _count = blob
+def _checked_blob(blob: Dict) -> Dict:
+    fmt = blob.get("format") if isinstance(blob, dict) else None
     if fmt != CHECKPOINT_FORMAT:
         raise ValueError(f"unknown checkpoint format {fmt!r}")
-    return spec
+    return blob
 
 
-def restore_engine(blob: Tuple) -> ContinuousJoinEngine:
+def checkpoint_spec(blob: Dict) -> Tuple:
+    """The build spec embedded in a checkpoint blob."""
+    return _checked_blob(blob)["spec"]
+
+
+def restore_engine(blob: Dict) -> ContinuousJoinEngine:
     """Rebuild a shard engine from a checkpoint blob."""
     from ..core.result import JoinResultStore  # noqa: F401 (doc anchor)
     from ..geometry import TimeInterval
     from ..join import JoinTriple
 
-    fmt, spec, rows, update_count = blob
-    if fmt != CHECKPOINT_FORMAT:
-        raise ValueError(f"unknown checkpoint format {fmt!r}")
-    objects_a, objects_b, algorithm, config, start_time = spec
+    blob = _checked_blob(blob)
+    rows = blob["rows"]
+    update_count = blob["update_count"]
+    objects_a, objects_b, algorithm, config, start_time = blob["spec"]
     engine = ContinuousJoinEngine(
         objects_a,
         objects_b,
@@ -150,11 +179,25 @@ def _prune(engine: ContinuousJoinEngine) -> List[Tuple[int, int]]:
 def execute(
     engines: Dict[int, ContinuousJoinEngine], cmds: Sequence[Tuple]
 ) -> List[Any]:
-    """Run a command batch against a registry; one result per command."""
+    """Run a command batch against a registry; one result per command.
+
+    Every command is validated against its :data:`~repro.par.protocol.
+    COMMANDS` spec before dispatch: an unknown op or a wrong payload
+    arity is a deterministic :class:`ValueError`, never a silent
+    misread of the tuple.
+    """
     out: List[Any] = []
     for cmd in cmds:
         op, sid = cmd[0], cmd[1]
-        if op == "build":
+        spec = COMMANDS.get(op)
+        if spec is None:
+            raise ValueError(f"unknown shard command {op!r}")
+        if len(cmd) != 2 + spec.n_args:
+            raise ValueError(
+                f"command {op!r} takes {spec.n_args} argument(s), "
+                f"got {len(cmd) - 2}"
+            )
+        if op == OP_BUILD:
             objects_a, objects_b, algorithm, config, start_time = cmd[2]
             engines[sid] = ContinuousJoinEngine(
                 objects_a,
@@ -165,37 +208,37 @@ def execute(
             )
             out.append(engines[sid].build_cost)
             continue
-        if op == "restore":
+        if op == OP_RESTORE:
             engines[sid] = restore_engine(cmd[2])
             out.append(None)
             continue
         engine = engines[sid]
-        if op == "initial_join":
+        if op == OP_INITIAL_JOIN:
             out.append(engine.run_initial_join())
-        elif op == "tick":
+        elif op == OP_TICK:
             engine.tick(cmd[2])
             out.append(None)
-        elif op == "ops":
+        elif op == OP_OPS:
             apply_shard_ops(engine, cmd[2])
             out.append(None)
-        elif op == "pairs_at":
+        elif op == OP_PAIRS_AT:
             out.append(engine.result_at(cmd[2]))
-        elif op == "store_dump":
+        elif op == OP_STORE_DUMP:
             out.append(_dump_store(engine))
-        elif op == "objects":
+        elif op == OP_OBJECTS:
             out.append(
                 (
                     sorted(engine.objects_a),
                     sorted(engine.objects_b),
                 )
             )
-        elif op == "prune":
+        elif op == OP_PRUNE:
             out.append(_prune(engine))
-        elif op == "cost":
+        elif op == OP_COST:
             out.append(engine.tracker.snapshot())
-        elif op == "obs":
+        elif op == OP_OBS:
             out.append(None if engine.obs is None else engine.obs.to_dict())
-        elif op == "checkpoint":
+        elif op == OP_CHECKPOINT:
             out.append(make_checkpoint(engine))
         else:
             raise ValueError(f"unknown shard command {op!r}")

@@ -21,6 +21,19 @@ def lint(source: str, rel=("join", "mod.py")) -> list:
 
 
 # ----------------------------------------------------------------------
+# RC000 — unparseable source
+# ----------------------------------------------------------------------
+class TestRC000:
+    def test_syntax_error_is_rc000(self):
+        findings = lint("def broken(:\n    pass\n")
+        assert codes(findings) == ["RC000"]
+
+    def test_rc000_carries_the_error_line(self):
+        (finding,) = lint("x = 1\ndef broken(:\n")
+        assert finding.location.endswith(":2")
+
+
+# ----------------------------------------------------------------------
 # RC001 — raw float equality on time/coordinate values
 # ----------------------------------------------------------------------
 class TestRC001:

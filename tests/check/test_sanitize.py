@@ -49,6 +49,22 @@ class TestTPRTree:
         tree = build_tree()
         assert check_tpr_tree(tree, 0.0) == []
 
+    def test_corrupted_root_level_is_sc101(self):
+        tree = build_tree()
+        root = tree.root_node()
+        root.level += 1
+        tree.storage.write_node(root)
+        assert "SC101" in codes(check_tpr_tree(tree, 0.0))
+
+    def test_underfull_node_is_sc102(self):
+        tree = build_tree()
+        root = tree.root_node()
+        assert not root.is_leaf, "need a non-root level to underfill"
+        child = tree.read_node(root.entries[0].ref)
+        child.entries = child.entries[:1]
+        tree.storage.write_node(child)
+        assert "SC102" in codes(check_tpr_tree(tree, 0.0))
+
     def test_shrunk_parent_bound_is_sc103(self):
         tree = build_tree()
         root = tree.root_node()
@@ -343,3 +359,54 @@ class TestSupervisorState:
             )
         )
         assert found == []
+
+
+# ----------------------------------------------------------------------
+# Column-store corruption (SC601-SC603)
+# ----------------------------------------------------------------------
+class TestColumnStore:
+    def build_store(self, n: int = 16):
+        from repro.core import ColumnStore
+
+        return ColumnStore.from_objects(
+            random_objects(13, n, t_ref=0.0, space=200.0)
+        )
+
+    def check(self, store, t_now: float = 0.0):
+        from repro.check.sanitize import check_column_store
+
+        return check_column_store(store, t_now)
+
+    def test_clean_store_has_no_findings(self):
+        assert self.check(self.build_store()) == []
+
+    def test_dropped_row_map_entry_is_sc601(self):
+        store = self.build_store()
+        store._row_of.pop(int(store.oid[0]))
+        assert "SC601" in codes(self.check(store))
+
+    def test_swapped_row_map_entries_are_sc601(self):
+        store = self.build_store()
+        a, b = int(store.oid[0]), int(store.oid[1])
+        store._row_of[a], store._row_of[b] = store._row_of[b], store._row_of[a]
+        assert "SC601" in codes(self.check(store))
+
+    def test_drifted_shifted_bound_is_sc602(self):
+        store = self.build_store()
+        store.slo[0, 0] += 1e-3
+        assert "SC602" in codes(self.check(store))
+
+    def test_future_reference_time_is_sc603(self):
+        store = self.build_store()
+        store.tref[0] = 5.0
+        store.slo[:, 0] = store.mlo[:, 0] - store.vlo[:, 0] * 5.0
+        store.shi[:, 0] = store.mhi[:, 0] - store.vhi[:, 0] * 5.0
+        found = self.check(store, t_now=1.0)
+        assert "SC603" in codes(found)
+
+    def test_non_finite_column_is_sc603(self):
+        import numpy as np
+
+        store = self.build_store()
+        store.vlo[0, 0] = np.nan
+        assert "SC603" in codes(self.check(store, t_now=0.0))

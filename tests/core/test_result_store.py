@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core import JoinResultStore
 from repro.geometry import INF, TimeInterval
+from repro.geometry.constants import MERGE_TOL
 from repro.join import JoinTriple
 
 
@@ -160,12 +161,24 @@ class TestAgainstReferenceModel:
     )
     @settings(max_examples=200)
     def test_pairs_at_matches_naive_model(self, adds, t):
+        # The model must mirror the store's documented merge rule:
+        # per-pair gaps no wider than MERGE_TOL are glued shut, so a
+        # query inside such a micro-gap still reports the pair.
         store = JoinResultStore()
-        model = []
+        spans = {}
         for a, b, s, length in adds:
             store.add(triple(a, b, s, s + length))
-            model.append((a, b, s, s + length))
-        want = {(a, b) for a, b, s, e in model if s <= t <= e}
+            spans.setdefault((a, b), []).append((s, s + length))
+        want = set()
+        for key, ivs in spans.items():
+            merged = []
+            for s, e in sorted(ivs):
+                if merged and s <= merged[-1][1] + MERGE_TOL:
+                    merged[-1][1] = max(merged[-1][1], e)
+                else:
+                    merged.append([s, e])
+            if any(s <= t <= e for s, e in merged):
+                want.add(key)
         assert store.pairs_at(t) == want
 
     def test_random_interleaving_with_removals(self):

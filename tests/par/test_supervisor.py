@@ -181,11 +181,22 @@ class TestCheckpointBlob:
         assert spec[4] == registry[0].now
 
     def test_unknown_format_rejected(self):
-        bad = ("repro.par.ckpt/999", None, [], 0)
+        bad = {"format": "repro.par.ckpt/999", "spec": None,
+               "rows": [], "update_count": 0}
         with pytest.raises(ValueError, match="format"):
             worker.restore_engine(bad)
         with pytest.raises(ValueError, match="format"):
             worker.checkpoint_spec(bad)
+
+    def test_legacy_tuple_blob_rejected(self):
+        legacy = ("repro.par.ckpt/1", None, [], 0)
+        with pytest.raises(ValueError, match="format"):
+            worker.restore_engine(legacy)
+
+    def test_blob_keys_match_declared_format(self):
+        blob = worker.make_checkpoint(self.build_registry()[0])
+        assert blob["format"] == worker.CHECKPOINT_FORMAT
+        assert set(blob) == {"format", "spec", "rows", "update_count"}
 
 
 class TestShutdown:
