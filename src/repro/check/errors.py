@@ -32,6 +32,9 @@ Sanitizer codes (``SCxxx``, checked at runtime against live structures):
 ``SC601``  column-store id ↔ row map broken
 ``SC602``  pre-shifted column bounds drifted from a fresh recompute
 ``SC603``  column reference time ahead of the clock / non-finite data
+``SC701``  folded delta view diverges from the live result store
+``SC702``  delta event stream not strictly tick-monotone
+``SC703``  ill-formed delta event (duplicate add / removal of absent row)
 ========  ============================================================
 
 Lint codes (``RCxxx``, checked statically over source files):
@@ -91,6 +94,7 @@ SANITIZER_CODES = (
     "SC401", "SC402", "SC403",
     "SC501", "SC502", "SC503",
     "SC601", "SC602", "SC603",
+    "SC701", "SC702", "SC703",
 )
 
 LINT_CODES = ("RC000", "RC001", "RC002", "RC003", "RC004", "RC005", "RC006")

@@ -54,6 +54,7 @@ __all__ = [
     "check_sharded_state",
     "check_supervisor_state",
     "check_column_store",
+    "check_delta_ledger",
     "check_index",
     "sanitize_engine",
     "sanitize_columnar_engine",
@@ -578,6 +579,65 @@ def check_column_store(store, t_now: float, label: str = "columns") -> List[Find
     return findings
 
 
+def check_delta_ledger(store, source, label: str = "ledger") -> List[Finding]:
+    """Reconcile a delta event source against its live store (SC701–SC703).
+
+    ``source`` is anything with the ledger read surface — a
+    :class:`~repro.deltas.DeltaLedger` (per-engine, possibly carrying a
+    restore baseline) or a :class:`~repro.deltas.ShardDeltaMerger` (the
+    sharded parent).  Three invariants:
+
+    * **SC702** — the tick sequence is strictly increasing (events are
+      appended in clock order, never back-dated).
+    * **SC703** — the netted stream is well-formed: folding it never
+      adds a row twice nor removes an absent one (the exactly-once
+      grammar; a duplicated or lost emission surfaces here).
+    * **SC701** — the fold lands exactly on the store: baseline ⊕
+      events equals the live interval rows bit-for-bit.
+    """
+    from ..deltas import DeltaReplayError, DeltaView
+
+    findings: List[Finding] = []
+    ticks = source.ticks()
+    for i in range(1, len(ticks)):
+        if not ticks[i - 1] < ticks[i]:
+            findings.append(Finding(
+                "SC702",
+                f"tick sequence not strictly increasing: "
+                f"{ticks[i - 1]:g} then {ticks[i]:g}",
+                f"{label}/tick {i}",
+            ))
+            return findings
+    baseline = getattr(source, "baseline_rows", None)
+    view = DeltaView(baseline() if baseline is not None else None)
+    for t in ticks:
+        for event in source.events_at(t):
+            try:
+                view.apply(event)
+            except DeltaReplayError as exc:
+                findings.append(Finding(
+                    "SC703", str(exc), f"{label}/tick {t:g}"
+                ))
+                return findings
+    folded = view.rows()
+    live = store.interval_rows()
+    if folded != live:  # noqa: RC001 - bit-exact reconciliation on purpose
+        missing = sorted(set(live) - set(folded))[:3]
+        extra = sorted(set(folded) - set(live))[:3]
+        drifted = sorted(
+            key for key in set(live) & set(folded)
+            if live[key] != folded[key]  # noqa: RC001
+        )[:3]
+        findings.append(Finding(
+            "SC701",
+            "folded delta view diverges from the live store "
+            f"({len(folded)} vs {len(live)} pairs; missing {missing}, "
+            f"extra {extra}, drifted {drifted})",
+            label,
+        ))
+    return findings
+
+
 def sanitize_columnar_engine(engine) -> List[Finding]:
     """Check everything a columnar engine maintains.
 
@@ -608,6 +668,8 @@ def sanitize_columnar_engine(engine) -> List[Finding]:
         anchors=anchors,
         floor=getattr(engine, "start_time", None),
     ))
+    if engine.ledger is not None:
+        findings.extend(check_delta_ledger(engine.store, engine.ledger))
     return findings
 
 
@@ -692,4 +754,7 @@ def sanitize_engine(engine) -> List[Finding]:
             store, t_m=t_m, anchors=anchors,
             floor=getattr(engine, "start_time", None),
         ))
+        ledger = getattr(engine, "ledger", None)
+        if ledger is not None:
+            findings.extend(check_delta_ledger(store, ledger))
     return findings

@@ -98,6 +98,15 @@ class ColumnarJoinEngine:
         self.start_time = float(start_time)
         self.tracker = CostTracker()
         self.store = JoinResultStore()
+        #: Attached :class:`~repro.deltas.DeltaLedger` when
+        #: ``config.deltas`` is on; delta extraction rides the store's
+        #: ``add_batch`` hot loop as plain scalar records.
+        self.ledger = None
+        if self.config.deltas:
+            from ..deltas import DeltaLedger
+
+            self.ledger = DeltaLedger(self.now)
+            self.store.attach_ledger(self.ledger)
         self.obs: Optional[ObsRecorder] = None
         self._backend = None
         if self.config.compile_kernels:
@@ -158,6 +167,8 @@ class ColumnarJoinEngine:
         if t < self.now:
             raise ValueError(f"time went backwards: {t} < {self.now}")
         self.now = t
+        if self.ledger is not None:
+            self.ledger.advance(t)
         self._sanitize()
 
     def apply_update(self, obj: MovingObject) -> None:
@@ -272,6 +283,47 @@ class ColumnarJoinEngine:
         """Garbage-collect result intervals wholly in the past."""
         with self._span("engine.expire", t=self.now):
             return self.store.prune_expired(self.now)
+
+    def deltas(self, t: Optional[float] = None):
+        """The netted delta events at tick ``t`` (default: now).
+
+        Identical stream to the serial engine's over the same workload
+        — the netted per-tick events are the store's state diff, and
+        the stores are maintained bit-identically.
+        """
+        if self.ledger is None:
+            raise RuntimeError(
+                "delta streams are off; build with JoinConfig(deltas=True)"
+            )
+        if t is None:
+            t = self.now
+        with self._span("engine.deltas", t=t):
+            return self.ledger.events_at(t)
+
+    def watch(self, *, oid: Optional[int] = None, region=None):
+        """Subscribe to the delta stream (see the serial engine)."""
+        if self.ledger is None:
+            raise RuntimeError(
+                "delta streams are off; build with JoinConfig(deltas=True)"
+            )
+        from ..deltas import DeltaSubscription
+
+        return DeltaSubscription(
+            self.ledger,
+            oid=oid,
+            region=region,
+            index=self.store.pairs_for_object,
+            region_oids=self._region_oids,
+        )
+
+    def _region_oids(self, region) -> Set[int]:
+        """Object ids whose bounding box intersects ``region`` right now."""
+        found: Set[int] = set()
+        for view in (self.objects_a, self.objects_b):
+            for obj in view.values():
+                if obj.mbr_at(self.now).intersects(region):
+                    found.add(obj.oid)
+        return found
 
     def export_obs(self, path, meta=None):
         """Export the recording to JSON; requires ``config.obs``."""

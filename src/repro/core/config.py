@@ -63,6 +63,12 @@ class JoinConfig:
     #: each counter increment pays one attribute test.  Also forced on
     #: by the ``REPRO_OBS=1`` environment variable.
     obs: bool = field(default=False, compare=False)
+    #: Maintain a :class:`~repro.deltas.DeltaLedger` next to the result
+    #: store: every mutation records signed ``(tick, pair, ±interval)``
+    #: events, exposed via ``engine.deltas(t)`` / ``engine.watch(...)``.
+    #: Off by default — the store's hot paths then pay one ``None``
+    #: test per mutation.  Also forced on by ``REPRO_DELTAS=1``.
+    deltas: bool = field(default=False, compare=False)
     #: Supervised shard round-trip timeout in wall seconds
     #: (:class:`~repro.par.supervisor.ShardSupervisor`): a worker that
     #: gives no reply within this window is declared hung and
@@ -93,6 +99,8 @@ class JoinConfig:
             "REPRO_COMPILE", ""
         ) not in ("", "0"):
             object.__setattr__(self, "compile_kernels", True)
+        if not self.deltas and os.environ.get("REPRO_DELTAS", "") not in ("", "0"):
+            object.__setattr__(self, "deltas", True)
         if self.space_size <= 0:
             raise ValueError("space_size must be positive")
         if self.t_m <= 0:

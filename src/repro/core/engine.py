@@ -90,6 +90,22 @@ class ContinuousJoinEngine:
             )
             self.obs.attach(self.tracker)
         self._strategy = _make_strategy(algorithm, self, techniques)
+        #: Attached :class:`~repro.deltas.DeltaLedger` when
+        #: ``config.deltas`` is on (or ``REPRO_DELTAS=1``); ``None``
+        #: otherwise.  Armed before the build so the initial join's
+        #: additions are already part of the stream.
+        self.ledger = None
+        if self.config.deltas:
+            store = getattr(self._strategy, "store", None)
+            if store is None:
+                raise ValueError(
+                    f"algorithm {algorithm!r} keeps no interval store; "
+                    "delta streams need one (pick naive/tc/mtb)"
+                )
+            from ..deltas import DeltaLedger
+
+            self.ledger = DeltaLedger(self.now)
+            store.attach_ledger(self.ledger)
         with self.tracker.timed(), self._span("engine.build"):
             self._strategy.build(self.now)
         self.build_cost: CostSnapshot = self.tracker.snapshot()
@@ -130,6 +146,8 @@ class ContinuousJoinEngine:
         if t < self.now:
             raise ValueError(f"time went backwards: {t} < {self.now}")
         self.now = t
+        if self.ledger is not None:
+            self.ledger.advance(t)
         with self.tracker.timed(), self._span("engine.tick", t=t):
             self._strategy.on_tick(t)
         self._sanitize()
@@ -312,6 +330,57 @@ class ContinuousJoinEngine:
             return 0
         with self._span("engine.expire", t=self.now):
             return store.prune_expired(self.now)
+
+    # ------------------------------------------------------------------
+    # Delta streams
+    # ------------------------------------------------------------------
+    def deltas(self, t: Optional[float] = None):
+        """The netted delta events at tick ``t`` (default: now).
+
+        Requires ``JoinConfig(deltas=True)``.  Returns an
+        already-materialized tuple of :class:`~repro.deltas.DeltaEvent`
+        — constant-delay iteration, no recomputation on re-enumeration.
+        """
+        if self.ledger is None:
+            raise RuntimeError(
+                "delta streams are off; build with JoinConfig(deltas=True)"
+            )
+        if t is None:
+            t = self.now
+        with self._span("engine.deltas", t=t):
+            return self.ledger.events_at(t)
+
+    def watch(self, *, oid: Optional[int] = None, region=None):
+        """Subscribe to the delta stream, optionally filtered.
+
+        ``oid=`` matches events whose pair contains the object id;
+        ``region=`` (a :class:`~repro.geometry.Box`) matches events
+        touching any object currently inside the region.  Both resolve
+        their current-state queries against the result store's inverted
+        index; see :class:`~repro.deltas.DeltaSubscription`.
+        """
+        if self.ledger is None:
+            raise RuntimeError(
+                "delta streams are off; build with JoinConfig(deltas=True)"
+            )
+        from ..deltas import DeltaSubscription
+
+        return DeltaSubscription(
+            self.ledger,
+            oid=oid,
+            region=region,
+            index=self._strategy.store.pairs_for_object,
+            region_oids=self._region_oids,
+        )
+
+    def _region_oids(self, region) -> Set[int]:
+        """Object ids whose bounding box intersects ``region`` right now."""
+        found: Set[int] = set()
+        for registry in (self.objects_a, self.objects_b):
+            for obj in registry.values():
+                if obj.mbr_at(self.now).intersects(region):
+                    found.add(obj.oid)
+        return found
 
     def _span(self, name: str, **tags):
         """A distinct phase span, or a no-op when recording is off."""

@@ -32,6 +32,23 @@ def _as_list(values) -> List:
     return tolist() if tolist is not None else list(values)
 
 
+def _record_merge_diff(ledger, key: "PairKey", old_rows, merged) -> None:
+    """Report a re-merged pair's row transitions as the exact set diff.
+
+    ``old_rows`` is the pair's pre-mutation ``(start, end)`` list and
+    ``merged`` the post-merge :class:`TimeInterval` list.  Rows within a
+    pair are distinct (sorted, disjoint), so the symmetric set
+    difference is precisely the state transition — a merge that only
+    re-confirms an existing interval nets to no events at all.
+    """
+    old = set(old_rows)
+    new = {(iv.start, iv.end) for iv in merged}
+    for start, end in old - new:
+        ledger.record(-1, key[0], key[1], start, end)
+    for start, end in new - old:
+        ledger.record(1, key[0], key[1], start, end)
+
+
 class JoinResultStore:
     """Pair → interval-list map with per-object invalidation.
 
@@ -44,7 +61,7 @@ class JoinResultStore:
     to be skipped later.
     """
 
-    __slots__ = ("_pairs", "_by_oid", "_frontier")
+    __slots__ = ("_pairs", "_by_oid", "_frontier", "_ledger")
 
     def __init__(self) -> None:
         self._pairs: Dict[PairKey, List[TimeInterval]] = {}
@@ -52,6 +69,19 @@ class JoinResultStore:
         #: lazy min-heap over (intervals[0].end, key); may hold stale
         #: entries, but always holds a live entry for every stored pair.
         self._frontier: List[Tuple[float, PairKey]] = []
+        #: attached :class:`~repro.deltas.DeltaLedger` (``None`` = off).
+        #: Every mutation path below reports its exact row transitions
+        #: to it, so folding the ledger reconstructs the store.
+        self._ledger = None
+
+    def attach_ledger(self, ledger) -> None:
+        """Attach (or detach, with ``None``) a delta ledger.
+
+        Once attached, every mutation — :meth:`add`, :meth:`add_batch`,
+        :meth:`remove_object`, :meth:`prune_expired`, :meth:`clear` —
+        records the signed row transitions it causes.
+        """
+        self._ledger = ledger
 
     # ------------------------------------------------------------------
     # Mutation
@@ -68,20 +98,36 @@ class JoinResultStore:
         """
         key = triple.key()
         intervals = self._pairs.get(key)
+        ledger = self._ledger
         if intervals is None:
             self._pairs[key] = [triple.interval]
             self._by_oid.setdefault(triple.a_oid, set()).add(key)
             self._by_oid.setdefault(triple.b_oid, set()).add(key)
             heapq.heappush(self._frontier, (triple.interval.end, key))
+            if ledger is not None:
+                ledger.record(
+                    1, key[0], key[1], triple.interval.start, triple.interval.end
+                )
         elif triple.interval.start > intervals[-1].end + _MERGE_TOL:
             # Appending after the tail leaves intervals[0] (and hence the
             # pair's frontier entry) untouched.
             intervals.append(triple.interval)
+            if ledger is not None:
+                ledger.record(
+                    1, key[0], key[1], triple.interval.start, triple.interval.end
+                )
         else:
+            old = (
+                None
+                if ledger is None
+                else [(iv.start, iv.end) for iv in intervals]
+            )
             intervals.append(triple.interval)
             merged = merge_intervals(intervals)
             self._pairs[key] = merged
             heapq.heappush(self._frontier, (merged[0].end, key))
+            if ledger is not None:
+                _record_merge_diff(ledger, key, old, merged)
 
     def add_all(self, triples: Iterator[JoinTriple]) -> None:
         for triple in triples:
@@ -101,6 +147,11 @@ class JoinResultStore:
         by_oid = self._by_oid
         frontier = self._frontier
         push = heapq.heappush
+        ledger = self._ledger
+        # Hoisted bound method: delta extraction inside the vectorized
+        # append path is one plain-scalar call per row, no per-pair
+        # objects (the DeltaEvent materializes lazily at enumeration).
+        record = None if ledger is None else ledger.record
         for a, b, s, e in zip(
             _as_list(a_oids), _as_list(b_oids), _as_list(starts), _as_list(ends)
         ):
@@ -111,19 +162,34 @@ class JoinResultStore:
                 by_oid.setdefault(a, set()).add(key)
                 by_oid.setdefault(b, set()).add(key)
                 push(frontier, (e, key))
+                if record is not None:
+                    record(1, a, b, s, e)
             elif s > intervals[-1].end + _MERGE_TOL:
                 intervals.append(TimeInterval(s, e))
+                if record is not None:
+                    record(1, a, b, s, e)
             else:
+                old = (
+                    None
+                    if ledger is None
+                    else [(iv.start, iv.end) for iv in intervals]
+                )
                 intervals.append(TimeInterval(s, e))
                 merged = merge_intervals(intervals)
                 pairs[key] = merged
                 push(frontier, (merged[0].end, key))
+                if ledger is not None:
+                    _record_merge_diff(ledger, key, old, merged)
 
     def remove_object(self, oid: int) -> int:
         """Drop every pair involving ``oid``; returns how many."""
         keys = self._by_oid.pop(oid, set())
+        ledger = self._ledger
         for key in keys:
-            self._pairs.pop(key, None)
+            intervals = self._pairs.pop(key, None)
+            if ledger is not None and intervals is not None:
+                for iv in intervals:
+                    ledger.record(-1, key[0], key[1], iv.start, iv.end)
             other = key[1] if key[0] == oid else key[0]
             other_keys = self._by_oid.get(other)
             if other_keys is not None:
@@ -139,8 +205,13 @@ class JoinResultStore:
         is ``intervals[0].end`` — exactly what the frontier heap orders
         by.  Pairs whose earliest end is ``>= t`` have nothing expired
         and are never touched.
+
+        Pruned rows are reported to the attached delta ledger like any
+        other removal — a delta consumer sees expirations as ``-1``
+        events, not as silent drift between the stream and the store.
         """
         frontier = self._frontier
+        ledger = self._ledger
         dropped = 0
         while frontier and frontier[0][0] < t:
             end, key = heapq.heappop(frontier)
@@ -152,6 +223,9 @@ class JoinResultStore:
             k = 0
             while k < len(intervals) and intervals[k].end < t:
                 k += 1
+            if ledger is not None:
+                for iv in intervals[:k]:
+                    ledger.record(-1, key[0], key[1], iv.start, iv.end)
             if k == len(intervals):
                 del self._pairs[key]
                 for oid in key:
@@ -167,6 +241,11 @@ class JoinResultStore:
         return dropped
 
     def clear(self) -> None:
+        ledger = self._ledger
+        if ledger is not None:
+            for key, intervals in self._pairs.items():
+                for iv in intervals:
+                    ledger.record(-1, key[0], key[1], iv.start, iv.end)
         self._pairs.clear()
         self._by_oid.clear()
         self._frontier.clear()
@@ -185,6 +264,22 @@ class JoinResultStore:
     def intervals_for(self, key: PairKey) -> List[TimeInterval]:
         """Stored intervals for a pair (empty when unknown)."""
         return list(self._pairs.get(key, []))
+
+    def pairs_for_object(self, oid: int) -> Set[PairKey]:
+        """Stored pairs involving ``oid`` (the inverted index, copied)."""
+        return set(self._by_oid.get(oid, ()))
+
+    def interval_rows(self) -> Dict[PairKey, Tuple[Tuple[float, float], ...]]:
+        """The whole store as exact ``pair → ((start, end), …)`` rows.
+
+        This is the bit-for-bit comparison form the delta machinery
+        folds against (ledger baselines, :class:`~repro.deltas.
+        DeltaView.rows`, checkpoint dumps).
+        """
+        return {
+            key: tuple((iv.start, iv.end) for iv in intervals)
+            for key, intervals in self._pairs.items()
+        }
 
     def __len__(self) -> int:
         """Number of distinct pairs with any stored interval."""

@@ -1,0 +1,275 @@
+"""The delta ledger: signed result-store changes, netted per tick.
+
+Event grammar
+-------------
+One event is ``(tick, sign, a_oid, b_oid, start, end)`` with ``sign ∈
+{+1, -1}``: the *row* ``((a_oid, b_oid), (start, end))`` — one exact
+stored interval of one pair — entered (``+1``) or left (``-1``) the
+materialized result store at ``tick``.  Events are state transitions,
+not operations: a store mutation that rewrites a pair's interval list
+(a re-merge, an invalidation plus re-probe) is recorded as the row
+*diff* of old versus new list.  Folding is therefore plain multiset
+insert/remove — no merge logic, no order sensitivity — and
+reconstructs the store bit-for-bit (:class:`DeltaView`).
+
+Netting
+-------
+Within one tick a row may bounce (removed by invalidation, re-added by
+the re-probe).  :meth:`DeltaLedger.events_at` nets the raw record: the
+returned events are exactly the store's state diff across the tick, so
+the netted per-tick stream is *engine independent* — serial, columnar
+and sharded runs over the same workload emit identical netted streams.
+Events come back canonically ordered (removals first, then by pair and
+interval), as an already-materialized tuple: iteration is
+constant-delay per event with no recomputation.
+
+A ledger may carry a *baseline*: the store rows at the moment the
+ledger was (re)armed.  A fresh engine has an empty baseline; a shard
+restored from a checkpoint is re-armed with the tick-start rows so the
+reconciliation invariant ``baseline ⊕ events == store`` (sanitizer code
+``SC701``) holds across recovery without re-emitting history.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Mapping, NamedTuple, Optional, Tuple
+
+__all__ = [
+    "DeltaEvent",
+    "DeltaLedger",
+    "DeltaReplayError",
+    "DeltaView",
+    "fold_events",
+]
+
+PairKey = Tuple[int, int]
+Row = Tuple[float, float]
+
+
+class DeltaEvent(NamedTuple):
+    """One netted result-store transition (picklable, hashable)."""
+
+    #: Engine timestamp the transition happened at.
+    tick: float
+    #: ``+1`` — the row entered the store; ``-1`` — it left.
+    sign: int
+    #: First endpoint of the pair (dataset A).
+    a_oid: int
+    #: Second endpoint of the pair (dataset B).
+    b_oid: int
+    #: Stored intersection-interval start.
+    start: float
+    #: Stored intersection-interval end.
+    end: float
+
+    @property
+    def pair(self) -> PairKey:
+        """The ``(a_oid, b_oid)`` result key the event belongs to."""
+        return (self.a_oid, self.b_oid)
+
+    @property
+    def interval(self) -> Row:
+        """The exact ``(start, end)`` row that entered or left."""
+        return (self.start, self.end)
+
+
+class DeltaReplayError(ValueError):
+    """An event stream violated exactly-once folding.
+
+    Raised by :class:`DeltaView` on a duplicate add (the row is already
+    present) or a phantom removal (the row is absent) — the two ways a
+    delta stream can lie about the store it claims to describe.
+    """
+
+
+class DeltaLedger:
+    """Append-only per-engine event log with per-tick netting.
+
+    The write path is deliberately cheap — :meth:`record` appends one
+    plain scalar tuple, no object construction — so it can sit inside
+    the columnar engine's ``add_batch`` hot loop.  Netting and
+    :class:`DeltaEvent` materialization happen lazily in
+    :meth:`events_at`, memoized per tick until new raw records arrive.
+    """
+
+    __slots__ = ("_now", "_ticks", "_raw", "_baseline", "_cache")
+
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        baseline: Optional[Mapping[PairKey, Tuple[Row, ...]]] = None,
+    ) -> None:
+        self._now = float(start_time)
+        #: Every tick with at least one raw record, in recording order
+        #: (monotone by construction: records land at the current clock).
+        self._ticks: List[float] = []
+        self._raw: Dict[float, List[Tuple[int, int, int, float, float]]] = {}
+        self._baseline: Dict[PairKey, Tuple[Row, ...]] = (
+            {key: tuple(rows) for key, rows in baseline.items()}
+            if baseline
+            else {}
+        )
+        self._cache: Dict[float, Tuple[int, Tuple[DeltaEvent, ...]]] = {}
+
+    @property
+    def now(self) -> float:
+        """The tick new records are attributed to."""
+        return self._now
+
+    def advance(self, t: float) -> None:
+        """Move the ledger clock forward (monotone non-decreasing)."""
+        if t < self._now:
+            raise ValueError(f"time went backwards: {t} < {self._now}")
+        self._now = float(t)
+
+    def record(self, sign: int, a_oid: int, b_oid: int, start: float, end: float) -> None:
+        """Append one raw transition at the current tick."""
+        t = self._now
+        bucket = self._raw.get(t)
+        if bucket is None:
+            bucket = self._raw[t] = []
+            self._ticks.append(t)
+        bucket.append((sign, a_oid, b_oid, start, end))
+
+    def ticks(self) -> Tuple[float, ...]:
+        """Every tick that recorded at least one raw transition."""
+        return tuple(self._ticks)
+
+    def events_at(self, t: float) -> Tuple[DeltaEvent, ...]:
+        """The netted events of tick ``t`` (empty for a quiet tick).
+
+        Constant-delay enumeration: the tuple is materialized once per
+        (tick, record count) and handed out as-is afterwards.
+        """
+        raw = self._raw.get(t)
+        if raw is None:
+            return ()
+        cached = self._cache.get(t)
+        if cached is not None and cached[0] == len(raw):
+            return cached[1]
+        events = _net_events(t, raw)
+        self._cache[t] = (len(raw), events)
+        return events
+
+    def events(self) -> Iterator[DeltaEvent]:
+        """All netted events, in tick order."""
+        for t in self._ticks:
+            yield from self.events_at(t)
+
+    def baseline_rows(self) -> Dict[PairKey, Tuple[Row, ...]]:
+        """The store rows the ledger was armed against (usually empty)."""
+        return dict(self._baseline)
+
+    def __len__(self) -> int:
+        """Total raw records (diagnostics; netted streams may be shorter)."""
+        return sum(len(bucket) for bucket in self._raw.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaLedger(now={self._now:g}, ticks={len(self._ticks)}, "
+            f"records={len(self)})"
+        )
+
+
+def _net_events(
+    t: float, raw: List[Tuple[int, int, int, float, float]]
+) -> Tuple[DeltaEvent, ...]:
+    """Net one tick's raw records into canonical state-diff events.
+
+    A well-formed record stream alternates presence per row, so the
+    signed count nets to -1/0/+1.  A count beyond ±1 (a double add or
+    double removal — a store-hook bug) is preserved as repeated events
+    so the :class:`DeltaView` fold, and hence the ``SC703`` sanitizer,
+    still sees it instead of it vanishing in the netting.
+    """
+    counts: Dict[Tuple[int, int, float, float], int] = {}
+    for sign, a, b, start, end in raw:
+        row = (a, b, start, end)
+        counts[row] = counts.get(row, 0) + sign
+    events = [
+        DeltaEvent(t, 1 if net > 0 else -1, a, b, start, end)
+        for (a, b, start, end), net in counts.items()
+        for _ in range(abs(net))
+    ]
+    events.sort(key=lambda ev: (ev.sign, ev.a_oid, ev.b_oid, ev.start, ev.end))
+    return tuple(events)
+
+
+class DeltaView:
+    """The exact fold target: a pair → sorted-row map built from events.
+
+    Applying a ``+1`` event inserts its row, a ``-1`` event removes it;
+    both are exact-match operations that raise :class:`DeltaReplayError`
+    when the stream and the claimed state disagree.  After folding a
+    ledger from its baseline, :meth:`rows` equals
+    ``JoinResultStore.interval_rows()`` bit-for-bit.
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(
+        self, rows: Optional[Mapping[PairKey, Tuple[Row, ...]]] = None
+    ) -> None:
+        self._rows: Dict[PairKey, List[Row]] = {}
+        if rows:
+            for key, pair_rows in rows.items():
+                self._rows[key] = sorted(tuple(row) for row in pair_rows)
+
+    def apply_row(
+        self, sign: int, a_oid: int, b_oid: int, start: float, end: float
+    ) -> None:
+        """Apply one transition; raises :class:`DeltaReplayError` if ill-formed."""
+        key = (a_oid, b_oid)
+        row = (start, end)
+        rows = self._rows.get(key)
+        if sign > 0:
+            if rows is None:
+                self._rows[key] = [row]
+                return
+            pos = bisect_left(rows, row)
+            if pos < len(rows) and rows[pos] == row:
+                raise DeltaReplayError(
+                    f"duplicate add of interval {row} for pair {key}"
+                )
+            rows.insert(pos, row)
+        else:
+            pos = bisect_left(rows, row) if rows is not None else 0
+            if rows is None or pos >= len(rows) or rows[pos] != row:
+                raise DeltaReplayError(
+                    f"removal of absent interval {row} for pair {key}"
+                )
+            rows.pop(pos)
+            if not rows:
+                del self._rows[key]
+
+    def apply(self, event: DeltaEvent) -> None:
+        self.apply_row(event.sign, event.a_oid, event.b_oid, event.start, event.end)
+
+    def rows(self) -> Dict[PairKey, Tuple[Row, ...]]:
+        """The materialized view as exact, sorted interval rows."""
+        return {key: tuple(rows) for key, rows in self._rows.items()}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"DeltaView(pairs={len(self._rows)})"
+
+
+def fold_events(source, upto: Optional[float] = None) -> DeltaView:
+    """Fold an event source (ledger or merger) into a :class:`DeltaView`.
+
+    ``source`` needs ``ticks()`` / ``events_at(t)``; a ``baseline_rows``
+    attribute, when present, seeds the view (restored shards).  Ticks
+    strictly after ``upto`` are skipped, so sampling the view at every
+    tick of a run is one fold per sample over an already-netted stream.
+    """
+    baseline = getattr(source, "baseline_rows", None)
+    view = DeltaView(baseline() if baseline is not None else None)
+    for t in source.ticks():
+        if upto is not None and t > upto:
+            break
+        for event in source.events_at(t):
+            view.apply(event)
+    return view

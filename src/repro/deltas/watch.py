@@ -1,0 +1,116 @@
+"""Subscriptions over a delta stream: ``watch(oid=…)`` / ``watch(region=…)``.
+
+A subscription is a poll-cursor over any event source with the ledger
+read surface (:class:`~repro.deltas.ledger.DeltaLedger` or
+:class:`~repro.deltas.merge.ShardDeltaMerger`): each :meth:`poll`
+returns the matching events of every tick that *closed* since the last
+poll, in tick order.  Closed ticks are final (netting is frozen), so a
+subscriber sees every transition exactly once; pass
+``include_open=True`` on the last poll of a run to flush the still-open
+tick.
+
+Filters:
+
+* ``oid`` — events whose pair contains the object id.
+* ``region`` — events touching any object whose current bounding box
+  intersects the region; the object set is resolved *at poll time*
+  through the engine's registries, and the matching pairs currently in
+  the store come from the result store's inverted index
+  (:meth:`~repro.core.result.JoinResultStore.pairs_for_object`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, List, Optional, Set, Tuple
+
+from .ledger import DeltaEvent
+
+__all__ = ["DeltaSubscription"]
+
+PairKey = Tuple[int, int]
+
+
+class DeltaSubscription:
+    """One filtered poll-cursor over a delta event source.
+
+    Built by ``engine.watch(...)`` — ``source`` is the engine's ledger
+    (or the sharded merger), ``index`` resolves an oid to its currently
+    stored pairs through the store's inverted index, and
+    ``region_oids`` resolves a region to the object ids inside it at
+    the current clock.
+    """
+
+    __slots__ = ("_source", "_oid", "_region", "_index", "_region_oids", "_cursor")
+
+    def __init__(
+        self,
+        source,
+        *,
+        oid: Optional[int] = None,
+        region=None,
+        index: Optional[Callable[[int], FrozenSet[PairKey]]] = None,
+        region_oids: Optional[Callable[[object], Set[int]]] = None,
+    ) -> None:
+        if oid is not None and region is not None:
+            raise ValueError("watch one of oid= or region=, not both")
+        if region is not None and region_oids is None:
+            raise ValueError("region watches need a region_oids resolver")
+        self._source = source
+        self._oid = oid
+        self._region = region
+        self._index = index
+        self._region_oids = region_oids
+        #: Number of source ticks already consumed (ticks are append-only).
+        self._cursor = 0
+
+    def poll(self, include_open: bool = False) -> List[DeltaEvent]:
+        """Matching events of every tick closed since the last poll.
+
+        The open tick (``source.now``) is withheld unless
+        ``include_open`` — its net can still change — so repeated polls
+        deliver each event exactly once.
+        """
+        source = self._source
+        ticks = source.ticks()
+        now = source.now
+        upto = len(ticks)
+        if not include_open:
+            while upto > self._cursor and ticks[upto - 1] >= now:
+                upto -= 1
+        matched: List[DeltaEvent] = []
+        scope = self._poll_scope()
+        for i in range(self._cursor, upto):
+            for event in source.events_at(ticks[i]):
+                if scope is None or event.a_oid in scope or event.b_oid in scope:
+                    matched.append(event)
+        self._cursor = upto
+        return matched
+
+    def current_pairs(self) -> Set[PairKey]:
+        """Pairs currently stored for the watched scope (inverted index)."""
+        if self._index is None:
+            raise RuntimeError("this subscription has no store index attached")
+        scope = self._poll_scope()
+        if scope is None:
+            raise RuntimeError("current_pairs needs an oid= or region= filter")
+        pairs: Set[PairKey] = set()
+        for oid in scope:
+            pairs |= self._index(oid)
+        return pairs
+
+    def _poll_scope(self) -> Optional[Set[int]]:
+        """Object ids the filter matches right now (``None`` = match all)."""
+        if self._oid is not None:
+            return {self._oid}
+        if self._region is not None:
+            return set(self._region_oids(self._region))
+        return None
+
+    def __repr__(self) -> str:
+        if self._oid is not None:
+            what = f"oid={self._oid}"
+        elif self._region is not None:
+            what = f"region={self._region!r}"
+        else:
+            what = "all"
+        return f"DeltaSubscription({what}, consumed={self._cursor})"

@@ -50,6 +50,7 @@ __all__ = [
     "OP_COST",
     "OP_OBS",
     "OP_CHECKPOINT",
+    "OP_DELTAS",
     "SHARD_OP_UPDATE",
     "SHARD_OP_ADMIT",
     "SHARD_OP_EVICT",
@@ -68,6 +69,7 @@ OP_PRUNE = "prune"
 OP_COST = "cost"
 OP_OBS = "obs"
 OP_CHECKPOINT = "checkpoint"
+OP_DELTAS = "deltas"
 
 
 @dataclass(frozen=True)
@@ -137,6 +139,10 @@ COMMANDS = {
     OP_CHECKPOINT: CommandSpec(
         OP_CHECKPOINT, n_args=0, mutating=False,
         doc="serialize the engine into a recovery blob",
+    ),
+    OP_DELTAS: CommandSpec(
+        OP_DELTAS, n_args=1, mutating=False,
+        doc="enumerate the shard's netted delta events at a tick",
     ),
 }
 

@@ -48,9 +48,11 @@ from ..metrics import CostSnapshot
 from ..objects import MovingObject
 from . import worker
 from .partition import StripePartition
+from ..deltas import ShardDeltaMerger
 from .protocol import (
     OP_BUILD,
     OP_COST,
+    OP_DELTAS,
     OP_INITIAL_JOIN,
     OP_OBJECTS,
     OP_OBS,
@@ -129,6 +131,14 @@ class ShardedJoinEngine:
         }
         self.update_count = 0
         self.initial_join_cost: Optional[CostSnapshot] = None
+        #: Parent-side merge of the per-shard delta ledgers (``None``
+        #: unless ``config.deltas``).  Shard ledgers are pulled after
+        #: every mutation round and merged in tick order; holder-set
+        #: refcounting cancels replica churn, replacement ingestion
+        #: absorbs supervisor checkpoint/replay re-deliveries.
+        self._merger: Optional[ShardDeltaMerger] = (
+            ShardDeltaMerger(self.start_time) if self.config.deltas else None
+        )
 
         shard_ids = list(range(self.partition.n_shards))
         if self.workers > 0:
@@ -197,8 +207,14 @@ class ShardedJoinEngine:
     # Engine API (mirrors ContinuousJoinEngine)
     # ------------------------------------------------------------------
     def run_initial_join(self) -> CostSnapshot:
-        results = self._fan_all(OP_INITIAL_JOIN)
-        self.initial_join_cost = _sum_costs(results.values())
+        cmds: "OrderedDict[int, List[Tuple]]" = OrderedDict()
+        for sid in range(self.n_shards):
+            cmds[sid] = [(OP_INITIAL_JOIN, sid)]
+            if self._merger is not None:
+                cmds[sid].append((OP_DELTAS, sid, self.now))
+        results = self._backend.run(cmds)
+        self.initial_join_cost = _sum_costs(res[0] for res in results.values())
+        self._ingest_deltas(results)
         if self.config.sanitize:
             self.validate()
         return self.initial_join_cost
@@ -207,6 +223,8 @@ class ShardedJoinEngine:
         if t < self.now:
             raise ValueError(f"time went backwards: {t} < {self.now}")
         self.now = t
+        if self._merger is not None:
+            self._merger.advance(t)
         self._run_everywhere((OP_TICK, None, t))
 
     def apply_update(self, obj: MovingObject) -> None:
@@ -223,13 +241,21 @@ class ShardedJoinEngine:
         endpoints, with identical intervals).
         """
         ops = self._route_updates(batch)
+        self._commit_ops(ops)
+
+    def _commit_ops(self, ops: "OrderedDict[int, List[Tuple]]") -> None:
+        """Ship routed per-shard op batches; pull deltas in the same trip."""
         cmds = OrderedDict(
             (sid, [(OP_OPS, sid, shard_ops)])
             for sid, shard_ops in ops.items()
             if shard_ops
         )
+        if self._merger is not None:
+            for sid, shard_cmds in cmds.items():
+                shard_cmds.append((OP_DELTAS, sid, self.now))
         if cmds:
-            self._backend.run(cmds)
+            results = self._backend.run(cmds)
+            self._ingest_deltas(results)
         if self.config.sanitize:
             self.validate()
 
@@ -245,6 +271,8 @@ class ShardedJoinEngine:
         if t < self.now:
             raise ValueError(f"time went backwards: {t} < {self.now}")
         self.now = t
+        if self._merger is not None:
+            self._merger.advance(t)
         ops = self._route_updates(batch)
         cmds: "OrderedDict[int, List[Tuple]]" = OrderedDict()
         for sid in range(self.n_shards):
@@ -252,13 +280,18 @@ class ShardedJoinEngine:
             if ops[sid]:
                 shard_cmds.append((OP_OPS, sid, ops[sid]))
             shard_cmds.append((OP_PAIRS_AT, sid, t))
+            if self._merger is not None:
+                shard_cmds.append((OP_DELTAS, sid, t))
             cmds[sid] = shard_cmds
         results = self._backend.run(cmds)
+        self._ingest_deltas(results)
         if self.config.sanitize:
             self.validate()
+        # The pairs answer sits last, unless the delta pull rode behind it.
+        answer_idx = -1 if self._merger is None else -2
         answer: Set[PairKey] = set()
         for res in results.values():
-            answer |= res[-1]
+            answer |= res[answer_idx]
         return answer
 
     def apply_update_columns(self, upd_a, upd_b) -> None:
@@ -313,15 +346,7 @@ class ShardedJoinEngine:
                     else:
                         ops[sid].append((SHARD_OP_ADMIT, obj, dataset))
                 self.update_count += 1
-        cmds = OrderedDict(
-            (sid, [(OP_OPS, sid, shard_ops)])
-            for sid, shard_ops in ops.items()
-            if shard_ops
-        )
-        if cmds:
-            self._backend.run(cmds)
-        if self.config.sanitize:
-            self.validate()
+        self._commit_ops(ops)
 
     def _route_columns(self, upd) -> Tuple[np.ndarray, np.ndarray]:
         """Vectorized halo membership of one column batch.
@@ -388,10 +413,78 @@ class ShardedJoinEngine:
 
     def prune_expired(self) -> int:
         """Prune every shard store; returns distinct pairs fully dropped."""
+        cmds: "OrderedDict[int, List[Tuple]]" = OrderedDict()
+        for sid in range(self.n_shards):
+            cmds[sid] = [(OP_PRUNE, sid)]
+            if self._merger is not None:
+                cmds[sid].append((OP_DELTAS, sid, self.now))
+        results = self._backend.run(cmds)
+        self._ingest_deltas(results)
         dropped: Set[PairKey] = set()
-        for keys in self._fan_all(OP_PRUNE).values():
-            dropped.update(keys)
+        for res in results.values():
+            dropped.update(res[0])
         return len(dropped)
+
+    # ------------------------------------------------------------------
+    # Delta streams
+    # ------------------------------------------------------------------
+    def _ingest_deltas(self, results: Dict[int, List]) -> None:
+        """Fold one round's per-shard delta pulls into the merger.
+
+        Callers append the ``OP_DELTAS`` pull *last* to each shard's
+        command list, so the contribution is ``res[-1]``.  Ingestion is
+        replacement per shard and tick: a re-issued batch after a crash
+        (whose restored shard re-reports its whole open tick) lands on
+        the same slot instead of double-counting.
+        """
+        if self._merger is None:
+            return
+        for sid, res in results.items():
+            self._merger.ingest(sid, self.now, res[-1])
+
+    def deltas(self, t: Optional[float] = None):
+        """The merged netted delta events at tick ``t`` (default: now).
+
+        Same stream as the unsharded engines over the same workload:
+        per-shard ledgers are merged in tick order with replica churn
+        (ghost admissions/evictions) cancelled by holder-set counting.
+        """
+        if self._merger is None:
+            raise RuntimeError(
+                "delta streams are off; build with JoinConfig(deltas=True)"
+            )
+        if t is None:
+            t = self.now
+        return self._merger.events_at(t)
+
+    def watch(self, *, oid: Optional[int] = None, region=None):
+        """Subscribe to the merged delta stream (see the serial engine)."""
+        from ..deltas import DeltaSubscription
+
+        if self._merger is None:
+            raise RuntimeError(
+                "delta streams are off; build with JoinConfig(deltas=True)"
+            )
+        return DeltaSubscription(
+            self._merger,
+            oid=oid,
+            region=region,
+            index=self._pairs_index,
+            region_oids=self._region_oids,
+        )
+
+    def _pairs_index(self, oid: int) -> Set[PairKey]:
+        """Inverted-index lookup over the merged store (on demand)."""
+        return self.merged_store().pairs_for_object(oid)
+
+    def _region_oids(self, region) -> Set[int]:
+        """Object ids whose bounding box intersects ``region`` right now."""
+        found: Set[int] = set()
+        for registry in (self.objects_a, self.objects_b):
+            for obj in registry.values():
+                if obj.mbr_at(self.now).intersects(region):
+                    found.add(obj.oid)
+        return found
 
     # ------------------------------------------------------------------
     # Rollups
@@ -516,8 +609,11 @@ class ShardedJoinEngine:
 
     def validate(self) -> None:
         """Run the SC401–SC403 shard invariants (plus the SC501–SC503
-        supervisor invariants when supervised); raise on any finding."""
+        supervisor invariants when supervised, and the SC701–SC703
+        delta reconciliation when delta streams are on); raise on any
+        finding."""
         from ..check.sanitize import (
+            check_delta_ledger,
             check_sharded_state,
             check_supervisor_state,
             raise_on_findings,
@@ -527,6 +623,10 @@ class ShardedJoinEngine:
         findings = check_sharded_state(state)
         if state.get("supervisor") is not None:
             findings = findings + check_supervisor_state(state["supervisor"])
+        if self._merger is not None:
+            findings = findings + check_delta_ledger(
+                self.merged_store(), self._merger, label="sharded-deltas"
+            )
         raise_on_findings(findings)
 
     # ------------------------------------------------------------------

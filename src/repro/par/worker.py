@@ -24,6 +24,7 @@ from .protocol import (
     OP_BUILD,
     OP_CHECKPOINT,
     OP_COST,
+    OP_DELTAS,
     OP_INITIAL_JOIN,
     OP_OBJECTS,
     OP_OBS,
@@ -52,8 +53,10 @@ __all__ = [
 
 #: Version tag of the picklable checkpoint blob.  ``/2`` switched the
 #: blob from a positional tuple to explicit dict keys so producers and
-#: consumers can be cross-checked statically (RC104).
-CHECKPOINT_FORMAT = "repro.par.ckpt/2"
+#: consumers can be cross-checked statically (RC104); ``/3`` added the
+#: ``delta_seed`` key — the open tick's netted delta events — so a
+#: restored shard's delta ledger resumes exactly-once mid-tick.
+CHECKPOINT_FORMAT = "repro.par.ckpt/3"
 
 #: Per-process registry of shard engines (pool workers only).
 _ENGINES: Dict[int, ContinuousJoinEngine] = {}
@@ -104,6 +107,38 @@ def _dump_store(engine: ContinuousJoinEngine) -> List[Tuple]:
     ]
 
 
+def _pull_deltas(engine: ContinuousJoinEngine, t: float) -> Tuple:
+    """The shard's cumulative netted delta events at tick ``t``.
+
+    Non-mutating and therefore never op-logged: the parent may re-pull
+    after any failure and the reply always carries the *whole* net for
+    the tick (the merge layer ingests it with replacement semantics).
+    Empty when the shard keeps no ledger (``config.deltas`` off).
+    """
+    ledger = getattr(engine, "ledger", None)
+    if ledger is None:
+        return ()
+    with engine._span("engine.deltas", t=t):
+        return tuple(ledger.events_at(t))
+
+
+def _open_delta_events(engine: ContinuousJoinEngine) -> Tuple:
+    """Plain-tuple ``(sign, a, b, start, end)`` rows of the open tick.
+
+    Checkpoint payload: a checkpoint can land mid-tick (between
+    mutation rounds), and replay alone would only reconstruct the
+    rounds *after* it — seeding the restored ledger with these rows
+    makes its open-tick net equal the original net-from-tick-start.
+    """
+    ledger = getattr(engine, "ledger", None)
+    if ledger is None:
+        return ()
+    return tuple(
+        (ev.sign, ev.a_oid, ev.b_oid, ev.start, ev.end)
+        for ev in ledger.events_at(engine.now)
+    )
+
+
 def make_checkpoint(engine: ContinuousJoinEngine) -> Dict:
     """Serialize a shard engine into a picklable recovery blob.
 
@@ -127,6 +162,7 @@ def make_checkpoint(engine: ContinuousJoinEngine) -> Dict:
         "spec": spec,
         "rows": _dump_store(engine),
         "update_count": engine.update_count,
+        "delta_seed": _open_delta_events(engine),
     }
 
 
@@ -151,6 +187,7 @@ def restore_engine(blob: Dict) -> ContinuousJoinEngine:
     blob = _checked_blob(blob)
     rows = blob["rows"]
     update_count = blob["update_count"]
+    seed = blob["delta_seed"]
     objects_a, objects_b, algorithm, config, start_time = blob["spec"]
     engine = ContinuousJoinEngine(
         objects_a,
@@ -160,12 +197,42 @@ def restore_engine(blob: Dict) -> ContinuousJoinEngine:
         start_time=start_time,
     )
     store = engine._strategy.store
+    # Detach any fresh ledger while the dump is re-added: re-adding
+    # history must not re-emit it as delta events.
+    if engine.ledger is not None:
+        store.attach_ledger(None)
     for key, intervals in rows:
         for start, end in intervals:
             store.add(JoinTriple(key[0], key[1], TimeInterval(start, end)))
+    if engine.ledger is not None:
+        _reseed_ledger(engine, store, rows, seed)
     engine.update_count = update_count
     engine._sanitize()
     return engine
+
+
+def _reseed_ledger(engine: ContinuousJoinEngine, store, rows, seed) -> None:
+    """Re-arm a restored engine's delta ledger, exactly-once.
+
+    The checkpoint rows are the store *at checkpoint time* = the
+    tick-start state plus the seeded open-tick events.  Inverting the
+    seed against the rows recovers the tick-start state, which becomes
+    the fresh ledger's baseline; re-recording the seed then makes
+    ``events_at(open tick)`` equal the original net-from-tick-start, so
+    replayed rounds extend the net instead of restarting it and the
+    ``SC701`` reconciliation (baseline ⊕ events == store) holds from
+    the first post-restore sanitize on.
+    """
+    from ..deltas import DeltaLedger, DeltaView
+
+    view = DeltaView({key: intervals for key, intervals in rows})
+    for sign, a, b, start, end in seed:
+        view.apply_row(-sign, a, b, start, end)
+    fresh = DeltaLedger(engine.now, baseline=view.rows())
+    for sign, a, b, start, end in seed:
+        fresh.record(sign, a, b, start, end)
+    engine.ledger = fresh
+    store.attach_ledger(fresh)
 
 
 def _prune(engine: ContinuousJoinEngine) -> List[Tuple[int, int]]:
@@ -240,6 +307,8 @@ def execute(
             out.append(None if engine.obs is None else engine.obs.to_dict())
         elif op == OP_CHECKPOINT:
             out.append(make_checkpoint(engine))
+        elif op == OP_DELTAS:
+            out.append(_pull_deltas(engine, cmd[2]))
         else:
             raise ValueError(f"unknown shard command {op!r}")
     return out

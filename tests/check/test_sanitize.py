@@ -410,3 +410,81 @@ class TestColumnStore:
         store = self.build_store()
         store.vlo[0, 0] = np.nan
         assert "SC603" in codes(self.check(store, t_now=0.0))
+
+
+# ----------------------------------------------------------------------
+# Delta ledger reconciliation (SC701-SC703)
+# ----------------------------------------------------------------------
+class TestDeltaLedger:
+    """``check_delta_ledger`` reconciles an event source against its
+    live store: fold lands on the store (SC701), ticks strictly
+    increase (SC702), and the stream is well-formed (SC703)."""
+
+    def build(self):
+        from repro.deltas import DeltaLedger
+
+        store = JoinResultStore()
+        ledger = DeltaLedger(0.0)
+        store.attach_ledger(ledger)
+        store.add(JoinTriple(1, 2, TimeInterval(0.0, 3.0)))
+        store.add(JoinTriple(3, 4, TimeInterval(1.0, 9.0)))
+        ledger.advance(1.0)
+        store.remove_object(1)
+        return store, ledger
+
+    def check(self, store, ledger):
+        from repro.check.sanitize import check_delta_ledger
+
+        return check_delta_ledger(store, ledger)
+
+    def test_clean_ledger_has_no_findings(self):
+        store, ledger = self.build()
+        assert self.check(store, ledger) == []
+
+    def test_unreported_mutation_is_sc701(self):
+        store, ledger = self.build()
+        store.attach_ledger(None)  # mutate behind the ledger's back
+        store.remove_object(3)
+        assert codes(self.check(store, ledger)) == {"SC701"}
+
+    def test_drifted_interval_is_sc701(self):
+        store, ledger = self.build()
+        store._pairs[(3, 4)][0] = TimeInterval(1.0, 9.5)
+        found = self.check(store, ledger)
+        assert codes(found) == {"SC701"}
+        assert "drifted" in found[0].message
+
+    def test_backdated_tick_is_sc702(self):
+        store, ledger = self.build()
+        ledger._ticks.append(0.5)  # corrupt: records landed out of order
+        ledger._raw[0.5] = [(1, 7, 8, 0.0, 1.0)]
+        assert codes(self.check(store, ledger)) == {"SC702"}
+
+    def test_duplicated_emission_is_sc703(self):
+        store, ledger = self.build()
+        ledger.advance(2.0)
+        ledger.record(1, 3, 4, 1.0, 9.0)  # row is already present
+        assert codes(self.check(store, ledger)) == {"SC703"}
+
+    def test_lost_emission_is_sc703(self):
+        store, ledger = self.build()
+        ledger.advance(2.0)
+        ledger.record(-1, 9, 9, 0.0, 1.0)  # row was never added
+        assert codes(self.check(store, ledger)) == {"SC703"}
+
+    def test_sanitize_flag_runs_the_reconciliation(self):
+        """``sanitize=True`` + ``deltas=True`` wires SC70x into the
+        engine's validate path end to end."""
+        engine = ContinuousJoinEngine(
+            random_objects(3, 12, t_ref=0.0, space=200.0),
+            random_objects(4, 12, id_offset=100, t_ref=0.0, space=200.0),
+            "mtb",
+            JoinConfig(t_m=10.0, sanitize=True, deltas=True),
+        )
+        engine.run_initial_join()
+        engine._sanitize()
+        engine._strategy.store.attach_ledger(None)
+        engine._strategy.store.clear()
+        with pytest.raises(InvariantViolation) as err:
+            engine._sanitize()
+        assert any(f.code == "SC701" for f in err.value.findings)

@@ -1,0 +1,232 @@
+"""Unit contract of the ledger layer: netting, folding, prune events.
+
+``test_replay_equivalence.py`` proves the end-to-end property; this
+suite pins the pieces it stands on — per-tick netting and canonical
+ordering, clock monotonicity, memoized (constant-delay) enumeration,
+the exact-fold error grammar of :class:`DeltaView`, and the
+satellite-6 regression: ``JoinResultStore.prune_expired`` historically
+dropped intervals *silently*, which an attached ledger now reports as
+``-1`` events.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import JoinResultStore
+from repro.deltas import (
+    DeltaEvent,
+    DeltaLedger,
+    DeltaReplayError,
+    DeltaView,
+    fold_events,
+)
+from repro.geometry import TimeInterval
+from repro.join import JoinTriple
+
+
+def triple(a, b, start, end):
+    return JoinTriple(a, b, TimeInterval(start, end))
+
+
+# ----------------------------------------------------------------------
+# DeltaLedger
+# ----------------------------------------------------------------------
+class TestLedger:
+    def test_bounce_nets_to_nothing(self):
+        """Within one tick, remove-then-re-add of the same row is the
+        invalidation/re-probe bounce — the net state diff is empty."""
+        ledger = DeltaLedger(1.0)
+        ledger.record(-1, 1, 2, 0.0, 3.0)
+        ledger.record(1, 1, 2, 0.0, 3.0)
+        assert ledger.events_at(1.0) == ()
+        assert len(ledger) == 2  # raw records are kept for diagnostics
+
+    def test_canonical_order_removals_first(self):
+        ledger = DeltaLedger(2.0)
+        ledger.record(1, 9, 9, 0.0, 1.0)
+        ledger.record(-1, 1, 2, 0.0, 1.0)
+        ledger.record(1, 1, 3, 0.0, 1.0)
+        ledger.record(-1, 5, 6, 0.0, 1.0)
+        events = ledger.events_at(2.0)
+        assert [ev.sign for ev in events] == [-1, -1, 1, 1]
+        assert [ev.pair for ev in events] == [(1, 2), (5, 6), (1, 3), (9, 9)]
+
+    def test_double_add_survives_netting(self):
+        """A double add (store-hook bug) must reach the fold as two
+        events so SC703 can catch it, not vanish in the netting."""
+        ledger = DeltaLedger(0.0)
+        ledger.record(1, 1, 2, 0.0, 3.0)
+        ledger.record(1, 1, 2, 0.0, 3.0)
+        events = ledger.events_at(0.0)
+        assert len(events) == 2
+        with pytest.raises(DeltaReplayError, match="duplicate add"):
+            fold_events(ledger)
+
+    def test_advance_is_monotone(self):
+        ledger = DeltaLedger(3.0)
+        ledger.advance(3.0)  # same tick is fine
+        with pytest.raises(ValueError, match="backwards"):
+            ledger.advance(2.5)
+
+    def test_quiet_ticks_leave_no_trace(self):
+        ledger = DeltaLedger(0.0)
+        ledger.record(1, 1, 2, 0.0, 1.0)
+        ledger.advance(1.0)  # nothing recorded at t=1
+        ledger.advance(2.0)
+        ledger.record(1, 3, 4, 2.0, 5.0)
+        assert ledger.ticks() == (0.0, 2.0)
+        assert ledger.events_at(1.0) == ()
+
+    def test_enumeration_is_memoized_until_new_records(self):
+        ledger = DeltaLedger(0.0)
+        ledger.record(1, 1, 2, 0.0, 1.0)
+        first = ledger.events_at(0.0)
+        assert ledger.events_at(0.0) is first  # constant-delay re-read
+        ledger.record(1, 3, 4, 0.0, 1.0)
+        second = ledger.events_at(0.0)
+        assert second is not first and len(second) == 2
+
+    def test_events_walks_ticks_in_order(self):
+        ledger = DeltaLedger(0.0)
+        ledger.record(1, 1, 2, 0.0, 9.0)
+        ledger.advance(1.0)
+        ledger.record(-1, 1, 2, 0.0, 9.0)
+        assert [(ev.tick, ev.sign) for ev in ledger.events()] == [
+            (0.0, 1),
+            (1.0, -1),
+        ]
+
+    def test_baseline_seeds_the_fold(self):
+        """A re-armed ledger (restored shard) folds baseline ⊕ events."""
+        baseline = {(1, 2): ((0.0, 3.0),)}
+        ledger = DeltaLedger(5.0, baseline=baseline)
+        ledger.record(-1, 1, 2, 0.0, 3.0)
+        ledger.record(1, 3, 4, 5.0, 7.0)
+        assert ledger.baseline_rows() == baseline
+        assert fold_events(ledger).rows() == {(3, 4): ((5.0, 7.0),)}
+
+    def test_fold_upto_stops_at_the_sample_tick(self):
+        ledger = DeltaLedger(0.0)
+        ledger.record(1, 1, 2, 0.0, 9.0)
+        ledger.advance(1.0)
+        ledger.record(-1, 1, 2, 0.0, 9.0)
+        assert fold_events(ledger, upto=0.0).rows() == {(1, 2): ((0.0, 9.0),)}
+        assert fold_events(ledger).rows() == {}
+
+
+# ----------------------------------------------------------------------
+# DeltaView
+# ----------------------------------------------------------------------
+class TestView:
+    def test_exact_insert_remove(self):
+        view = DeltaView()
+        view.apply(DeltaEvent(0.0, 1, 1, 2, 0.0, 3.0))
+        view.apply(DeltaEvent(0.0, 1, 1, 2, 5.0, 8.0))
+        assert view.rows() == {(1, 2): ((0.0, 3.0), (5.0, 8.0))}
+        view.apply(DeltaEvent(1.0, -1, 1, 2, 0.0, 3.0))
+        view.apply(DeltaEvent(1.0, -1, 1, 2, 5.0, 8.0))
+        assert view.rows() == {}
+        assert len(view) == 0
+
+    def test_duplicate_add_raises(self):
+        view = DeltaView({(1, 2): ((0.0, 3.0),)})
+        with pytest.raises(DeltaReplayError, match="duplicate add"):
+            view.apply_row(1, 1, 2, 0.0, 3.0)
+
+    def test_phantom_removal_raises(self):
+        view = DeltaView()
+        with pytest.raises(DeltaReplayError, match="absent"):
+            view.apply_row(-1, 1, 2, 0.0, 3.0)
+
+    def test_near_miss_removal_is_phantom(self):
+        """Removal is bit-exact: a float off by one ulp does not match."""
+        view = DeltaView({(1, 2): ((0.0, 3.0),)})
+        with pytest.raises(DeltaReplayError, match="absent"):
+            view.apply_row(-1, 1, 2, 0.0, 3.0000000001)
+
+
+# ----------------------------------------------------------------------
+# Store hooks, incl. the satellite-6 prune fix
+# ----------------------------------------------------------------------
+class TestStoreHooks:
+    def build(self):
+        store = JoinResultStore()
+        ledger = DeltaLedger(0.0)
+        store.attach_ledger(ledger)
+        store.add(triple(1, 2, 0.0, 3.0))
+        store.add(triple(1, 2, 5.0, 8.0))
+        store.add(triple(3, 4, 1.0, 9.0))
+        return store, ledger
+
+    def test_adds_and_removals_fold_exactly(self):
+        store, ledger = self.build()
+        ledger.advance(1.0)
+        store.remove_object(1)
+        assert fold_events(ledger).rows() == store.interval_rows()
+        removed = [ev for ev in ledger.events_at(1.0) if ev.sign < 0]
+        assert {ev.interval for ev in removed} == {(0.0, 3.0), (5.0, 8.0)}
+
+    def test_merge_rewrite_emits_the_row_diff(self):
+        """An overlapping add rewrites the pair's list; the ledger sees
+        the old rows leave and the merged row enter — state transitions,
+        not operations."""
+        store, ledger = self.build()
+        ledger.advance(2.0)
+        store.add(triple(1, 2, 2.0, 6.0))  # bridges (0,3) and (5,8)
+        events = ledger.events_at(2.0)
+        assert [(ev.sign, ev.interval) for ev in events] == [
+            (-1, (0.0, 3.0)),
+            (-1, (5.0, 8.0)),
+            (1, (0.0, 8.0)),
+        ]
+        assert fold_events(ledger).rows() == store.interval_rows()
+
+    def test_add_batch_records_like_add(self):
+        store, ledger = self.build()
+        twin_store = JoinResultStore()
+        twin = DeltaLedger(0.0)
+        twin_store.attach_ledger(twin)
+        twin_store.add_batch(
+            [1, 1, 3], [2, 2, 4], [0.0, 5.0, 1.0], [3.0, 8.0, 9.0]
+        )
+        assert twin_store.interval_rows() == store.interval_rows()
+        assert twin.events_at(0.0) == ledger.events_at(0.0)
+
+    def test_clear_drains_everything(self):
+        store, ledger = self.build()
+        ledger.advance(4.0)
+        store.clear()
+        assert fold_events(ledger).rows() == {}
+
+    def test_prune_emits_removal_events(self):
+        """The satellite fix: expiration is a visible ``-1`` event."""
+        store, ledger = self.build()
+        ledger.advance(4.0)
+        dropped = store.prune_expired(4.0)
+        assert dropped == 0  # (1,2) keeps (5,8); (3,4) keeps (1,9)
+        pruned = ledger.events_at(4.0)
+        assert [(ev.sign, ev.pair, ev.interval) for ev in pruned] == [
+            (-1, (1, 2), (0.0, 3.0))
+        ]
+        assert fold_events(ledger).rows() == store.interval_rows()
+
+    def test_prune_without_ledger_is_the_old_silent_bug(self):
+        """Regression pin for the pre-ledger behavior: a prune the
+        ledger does not see leaves the stream claiming rows the store
+        has dropped — exactly the silent drift the sanitizer's SC701
+        reconciliation now rejects."""
+        from repro.check.sanitize import check_delta_ledger
+
+        store, ledger = self.build()
+        ledger.advance(4.0)
+        store.attach_ledger(None)  # re-create the old silent prune
+        store.prune_expired(4.0)
+        assert (1, 2) in store  # pair survives with its later interval
+        found = check_delta_ledger(store, ledger)
+        assert [f.code for f in found] == ["SC701"]
+        # With the ledger attached (the fix), the same prune reconciles.
+        store2, ledger2 = self.build()
+        ledger2.advance(4.0)
+        store2.prune_expired(4.0)
+        assert check_delta_ledger(store2, ledger2) == []

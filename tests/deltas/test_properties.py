@@ -1,0 +1,141 @@
+"""Property suite: the delta contract under randomized workloads.
+
+Two layers.  The engine-level properties draw whole workloads (size,
+seeds, kernels on/off) and check the incremental-view identity the API
+promises subscribers: *applying ``deltas(t)`` to the previous
+materialized view yields the store at t* — plus append-only,
+tick-monotone streams.  The ledger-level properties draw raw record
+sequences directly, so shrinking lands on a minimal add/remove pattern
+rather than a 60-object scenario.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ContinuousJoinEngine, JoinConfig
+from repro.deltas import DeltaLedger, DeltaView, fold_events
+
+from .conftest import T_M, delta_batches, delta_workload
+
+# ----------------------------------------------------------------------
+# Engine level: few examples, whole runs
+# ----------------------------------------------------------------------
+engine_runs = settings(max_examples=8, deadline=None)
+
+
+@engine_runs
+@given(
+    n=st.sampled_from([30, 45, 60]),
+    seed=st.integers(min_value=0, max_value=40),
+    use_kernels=st.booleans(),
+)
+def test_deltas_advance_the_previous_view_to_the_store(n, seed, use_kernels):
+    """view(t-) ⊕ deltas(t) == store(t), at every tick of a random run."""
+    scenario = delta_workload(n=n, seed=seed)
+    engine = ContinuousJoinEngine(
+        scenario.set_a,
+        scenario.set_b,
+        "mtb",
+        JoinConfig(t_m=T_M, node_capacity=8, deltas=True, use_kernels=use_kernels),
+    )
+    engine.run_initial_join()
+    store = engine._strategy.store
+    view = DeltaView()
+    for event in engine.deltas():
+        view.apply(event)
+    assert view.rows() == store.interval_rows()
+    for t, batch in delta_batches(scenario, seed=seed + 1):
+        engine.tick(t)
+        for obj in batch:
+            engine.apply_update(obj)
+        for event in engine.deltas(t):
+            view.apply(event)  # advance the *previous* view only by t's net
+        assert view.rows() == store.interval_rows(), (t, seed)
+
+
+@engine_runs
+@given(seed=st.integers(min_value=0, max_value=40))
+def test_stream_is_append_only_and_tick_monotone(seed):
+    """Earlier ticks never change and never reorder: each mutation may
+    only extend the tick sequence and rewrite the open tick's net."""
+    scenario = delta_workload(n=40, seed=seed)
+    engine = ContinuousJoinEngine(
+        scenario.set_a,
+        scenario.set_b,
+        "mtb",
+        JoinConfig(t_m=T_M, node_capacity=8, deltas=True),
+    )
+    engine.run_initial_join()
+    seen_ticks = engine.ledger.ticks()
+    closed = {}
+    for t, batch in delta_batches(scenario, seed=seed + 1):
+        engine.tick(t)
+        closed = {u: engine.deltas(u) for u in seen_ticks}
+        for obj in batch:
+            engine.apply_update(obj)
+            ticks = engine.ledger.ticks()
+            assert ticks[: len(seen_ticks)] == seen_ticks  # append-only
+            assert all(a < b for a, b in zip(ticks, ticks[1:]))  # monotone
+            seen_ticks = ticks
+        for u, events in closed.items():
+            assert engine.deltas(u) == events, (u, t)  # closed ticks frozen
+
+
+# ----------------------------------------------------------------------
+# Ledger level: many examples, tiny inputs, real shrinking
+# ----------------------------------------------------------------------
+rows = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=3),
+    st.sampled_from([0.0, 1.0, 2.5]),
+    st.sampled_from([3.0, 4.0, 7.5]),
+)
+
+
+@settings(max_examples=200)
+@given(
+    script=st.lists(
+        st.tuples(rows, st.integers(min_value=1, max_value=3)), max_size=12
+    )
+)
+def test_netting_equals_the_state_diff(script):
+    """Recording each row as N alternating present/absent bounces nets
+    to exactly the final state transition: one event when N is odd
+    (the row's presence flipped), none when N is even."""
+    ledger = DeltaLedger(1.0)
+    expected = {}
+    for row, bounces in script:
+        present = row in expected and expected[row]
+        for _ in range(bounces):
+            present = not present
+            ledger.record(1 if present else -1, *row)
+        expected[row] = present
+    netted = ledger.events_at(1.0)
+    flipped = sorted(row for row, present in expected.items() if present)
+    assert sorted(ev[1:] for ev in netted) == [
+        (1, *row) for row in flipped
+    ]
+    assert all(ev.tick == 1.0 for ev in netted)
+
+
+@settings(max_examples=200)
+@given(added=st.sets(rows, max_size=8), removed_count=st.integers(0, 8))
+def test_fold_is_exact_multiset_bookkeeping(added, removed_count):
+    """Adding distinct rows then removing a prefix folds to the rest."""
+    ledger = DeltaLedger(0.0)
+    ordered = sorted(added)
+    for row in ordered:
+        ledger.record(1, *row)
+    ledger.advance(1.0)
+    removed = ordered[: min(removed_count, len(ordered))]
+    for row in removed:
+        ledger.record(-1, *row)
+    view = fold_events(ledger)
+    survivors = {}
+    for a, b, s, e in ordered[len(removed):]:
+        survivors.setdefault((a, b), []).append((s, e))
+    assert view.rows() == {
+        key: tuple(sorted(vals)) for key, vals in survivors.items()
+    }

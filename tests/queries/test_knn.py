@@ -96,3 +96,67 @@ class TestContinuousKNNEngine:
         scenario, engine = self.make()
         with pytest.raises(KeyError):
             engine.apply_update(scenario.set_b[0])
+
+
+class TestOneShotPaths:
+    """One-shot snapshot paths of the kNN engine: future-time queries
+    that renew the candidate window on demand, the filter-set bound,
+    and the clock/identity guards."""
+
+    def test_future_snapshot_renews_the_window(self):
+        """``knn(t)`` beyond the current Theorem-1 window refreshes the
+        candidate set for ``[t, t + T_M]`` and stays exact.  ``t`` must
+        stay inside the Theorem-2 bucket horizon ``t_eb + T_M`` — with
+        no updates arriving, predictions beyond it have all expired,
+        which is outside the model's contract."""
+        _scenario, engine = self.make_static()
+        far = engine.config.t_m * 1.2  # past the initial window end
+        qx, qy = engine.query.at(far).center
+        got = [oid for _, oid in engine.knn(far)]
+        want = [
+            oid
+            for _, oid in brute_knn(engine.objects.values(), qx, qy, 5, far)
+        ]
+        assert got == want
+        assert engine._window_end >= far
+
+    def test_candidate_set_covers_k_and_filters(self):
+        _scenario, engine = self.make_static()
+        assert engine.k <= engine.candidate_count <= len(engine.objects)
+
+    def test_static_query_point(self):
+        """Zero-velocity query: the Lipschitz margin reduces to object
+        speed only, and snapshots stay exact across the window."""
+        _scenario, engine = self.make_static(vq=(0.0, 0.0))
+        for t in (0.0, 3.0, 7.0):
+            got = [oid for _, oid in engine.knn(t)]
+            want = [
+                oid
+                for _, oid in brute_knn(engine.objects.values(), 500, 500, 5, t)
+            ]
+            assert got == want, t
+
+    def test_past_snapshot_rejected(self):
+        _scenario, engine = self.make_static()
+        engine.tick(3.0)
+        with pytest.raises(ValueError, match="present"):
+            engine.knn(1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            engine.tick(2.0)
+
+    def test_unknown_object_update_rejected(self):
+        _scenario, engine = self.make_static()
+        stray = engine.objects.pop(next(iter(engine.objects)))
+        with pytest.raises(KeyError):
+            engine.apply_update(stray)
+
+    def make_static(self, vq=(0.6, -0.3)):
+        scenario = uniform_workload(
+            150, seed=6, max_speed=3.0, object_size_pct=1.0, t_m=10.0
+        )
+        query = KineticBox.moving_point(500, 500, vq[0], vq[1], 0.0)
+        engine = ContinuousKNNEngine(
+            scenario.set_a, query, k=5,
+            config=JoinConfig(t_m=10.0), max_speed=3.0,
+        )
+        return scenario, engine

@@ -121,3 +121,71 @@ class TestContinuousWindow:
                     else:
                         shadows[i][obj.oid] = obj
             assert tc.result_at() == naive.result_at(), t
+
+
+class TestOneShotPaths:
+    """One-shot evaluation paths: pinned before the continuous-query
+    work builds on them (future snapshots, the untimed §V baseline,
+    pre-evaluation registration, and clock/identity guards)."""
+
+    def test_future_snapshot_without_ticking(self):
+        """``result_at(t)`` answers any t inside the TC horizon from the
+        initial evaluation alone — no tick, no updates."""
+        _scenario, windows, engine = build(t_m=12.0)
+        objects = dict(engine.objects)
+        for t in (0.5, 3.0, 5.5):
+            assert engine.result_at(t) == oracle(windows, objects, t), t
+
+    def test_untimed_baseline_matches_tc_inside_the_horizon(self):
+        scenario = uniform_workload(
+            80, seed=9, max_speed=3.0, object_size_pct=1.0, t_m=6.0
+        )
+        windows = {
+            9_000_001: KineticBox.rigid(Box(200, 600, 200, 600), 0.5, -0.5, 0.0)
+        }
+        tc = ContinuousWindowEngine(
+            scenario.set_a, windows, JoinConfig(t_m=6.0), time_constrained=True
+        )
+        naive = ContinuousWindowEngine(
+            scenario.set_a, windows, JoinConfig(t_m=6.0), time_constrained=False
+        )
+        tc.evaluate_initial()
+        naive.evaluate_initial()
+        for t in (0.0, 2.0, 5.9):
+            assert tc.result_at(t) == naive.result_at(t), t
+
+    def test_untimed_baseline_answers_beyond_the_horizon(self):
+        """The naive path stores ``[t, ∞)`` intervals, so (unlike TC)
+        its one-shot answer stays exact past ``t_m`` with no updates."""
+        scenario = uniform_workload(
+            60, seed=11, max_speed=2.0, object_size_pct=1.0, t_m=4.0
+        )
+        windows = {
+            9_000_002: KineticBox.rigid(Box(100, 700, 100, 700), 0.0, 0.0, 0.0)
+        }
+        naive = ContinuousWindowEngine(
+            scenario.set_a, windows, JoinConfig(t_m=4.0), time_constrained=False
+        )
+        naive.evaluate_initial()
+        far = 9.0  # > t_m
+        assert naive.result_at(far) == oracle(windows, naive.objects, far)
+
+    def test_window_added_before_evaluation_is_included(self):
+        _scenario, windows, engine = build()
+        fresh = ContinuousWindowEngine(
+            list(engine.objects.values()), windows, JoinConfig(t_m=12.0)
+        )
+        qid = 9_100_000
+        fresh.add_window(qid, KineticBox.rigid(Box(0, 1000, 0, 1000), 0, 0, 0.0))
+        fresh.evaluate_initial()
+        assert fresh.result_for(qid, 0.0) == set(fresh.objects)
+
+    def test_clock_and_identity_guards(self):
+        _scenario, _windows, engine = build()
+        engine.tick(2.0)
+        with pytest.raises(ValueError, match="backwards"):
+            engine.tick(1.0)
+        stray = next(iter(engine.objects.values()))
+        engine.objects.pop(stray.oid)
+        with pytest.raises(KeyError):
+            engine.apply_update(stray)
