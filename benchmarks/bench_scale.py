@@ -8,23 +8,37 @@ number of maintenance ticks fed by the vectorized update stream, and
 records build / initial-join / tick throughput to ``BENCH_scale.json``
 at the repo root.
 
+Every cell runs in its own forked child process, so ``peak_rss_mb`` is
+a *per-cell* measurement (``ru_maxrss`` is monotone within a process;
+in one process the largest cell would mask all the others).  Cells also
+report ``store_mb``, the result store's own resident bytes via
+``approx_bytes()`` — the column the ColumnResultStore exists to shrink.
+
 At the sizes where the serial seed engine is still practical (1k, 10k)
 the same pre-materialized update batches are replayed through the
 object-path :class:`~repro.core.engine.ContinuousJoinEngine` group
-commit, so the speedup column compares identical work.
+commit, so the speedup column compares identical work.  At n=100k a
+4-shard columnar-worker cell (``shard_engine="columnar"``) runs beside
+the serial columnar engine for the sharded speedup column.
 
-Acceptance floors (the columnar-engine PR criteria; the script exits
-non-zero when missed):
+Acceptance floors (the script exits non-zero when missed):
 
 - at n=10k the columnar engine sustains >= ``COLUMNAR_FLOOR``x the
   seed engine's tick throughput;
 - at n=100k the mean maintenance tick stays under
-  ``TICK_FLOOR_100K_S`` seconds.
+  ``TICK_FLOOR_100K_S`` seconds;
+- at n=100k the columnar cell's peak RSS stays under
+  ``RSS_FLOOR_100K_MB`` MiB;
+- at n=100k the 4-shard columnar-worker engine sustains >=
+  ``SHARDED_FLOOR``x the serial columnar tick throughput.
 
-The 1M-per-side cell is best-effort: enabled with ``REPRO_SCALE_1M=1``,
-recorded but never gated.  ``REPRO_SCALE_SMOKE=1`` runs only the n=10k
-cell plus its seed baseline (the CI ``scale`` job).  Peak RSS is
-sampled after the n=100k cell (satellite of the ``__slots__`` pass).
+A 1M-per-side *storage* cell always runs: it saves one side as an
+RPROCOL3 slab image and reloads it through ``map_columns`` — measuring
+that a million objects come back without full deserialization.  The
+full 1M *join* cell stays best-effort behind ``REPRO_SCALE_1M=1``,
+recorded but never gated.  ``REPRO_SCALE_SMOKE=1`` runs the n=10k
+cells (columnar, seed baseline, and a 2-shard columnar-worker cell
+with ``workers=2``) plus a smoke RSS floor — the CI ``scale`` job.
 
 Run with::
 
@@ -35,14 +49,16 @@ from __future__ import annotations
 
 import json
 import math
+import multiprocessing
 import os
 import resource
 import sys
+import tempfile
 from pathlib import Path
 
 from repro.core import ColumnarJoinEngine, ContinuousJoinEngine, JoinConfig
 from repro.metrics import monotonic_clock
-from repro.workloads import UpdateStream, VectorUpdateStream, make_workload_arrays
+from repro.workloads import VectorUpdateStream, make_workload_arrays
 
 SIZES = [1_000, 10_000, 100_000]
 SEED_BASELINE_SIZES = {1_000, 10_000}
@@ -53,9 +69,13 @@ MAX_SPEED = 2.0
 OBJECT_SIZE_PCT = 0.1
 SEED = 20080407  # ICDE 2008
 ALGORITHM = "tc"
+N_1M = 1_000_000
 
 COLUMNAR_FLOOR = 3.0  # x seed tick throughput at n=10k
-TICK_FLOOR_100K_S = 5.0  # mean maintenance tick ceiling at n=100k
+TICK_FLOOR_100K_S = 1.4  # mean maintenance tick ceiling at n=100k
+RSS_FLOOR_100K_MB = 450.0  # per-cell peak RSS ceiling at n=100k
+RSS_FLOOR_SMOKE_MB = 300.0  # per-cell peak RSS ceiling at n=10k (CI smoke)
+SHARDED_FLOOR = 1.5  # x serial columnar tick throughput at n=100k
 
 
 def space_for(n: int) -> float:
@@ -78,6 +98,44 @@ def workload(n: int):
 def peak_rss_mb() -> float:
     usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     return usage / 1024.0  # linux reports KiB
+
+
+def _cell_child(fn, args, conn):
+    try:
+        result = fn(*args)
+        result["peak_rss_mb"] = round(peak_rss_mb(), 1)
+        conn.send(("ok", result))
+    except BaseException as exc:  # report, don't hang the parent
+        conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def run_cell(fn, *args) -> dict:
+    """Run one benchmark cell in a forked child for isolated RSS.
+
+    The parent only orchestrates (its resident set is the interpreter
+    plus imports), so the child's ``ru_maxrss`` is dominated by the
+    cell's own allocations.
+    """
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_cell_child, args=(fn, args, child_conn))
+    proc.start()
+    child_conn.close()
+    try:
+        status, payload = parent_conn.recv()
+    except EOFError:
+        proc.join()
+        raise RuntimeError(f"benchmark cell died (exit {proc.exitcode})")
+    proc.join()
+    if status != "ok":
+        raise RuntimeError(f"benchmark cell failed: {payload}")
+    return payload
+
+
+def store_mb(store) -> float:
+    return round(store.approx_bytes() / (1024.0 * 1024.0), 1)
 
 
 def run_columnar(n: int, steps: int) -> dict:
@@ -115,6 +173,7 @@ def run_columnar(n: int, steps: int) -> dict:
         "tick_mean_s": round(tick_s / steps, 4),
         "ticks_per_s": round(steps / tick_s, 3),
         "updates_per_s": round(engine.update_count / tick_s, 1),
+        "store_mb": store_mb(engine.store),
     }
 
 
@@ -157,6 +216,94 @@ def run_seed_baseline(n: int, steps: int) -> dict:
         "tick_mean_s": round(tick_s / steps, 4),
         "ticks_per_s": round(steps / tick_s, 3),
         "updates_per_s": round(engine.update_count / tick_s, 1),
+        "store_mb": store_mb(engine._strategy.store),
+    }
+
+
+def run_sharded_columnar(n: int, steps: int, shards: int, workers: int) -> dict:
+    """K-way sharded engine with columnar per-shard workers."""
+    from repro.par import ShardedJoinEngine
+
+    arrays = workload(n)
+    scenario = arrays.to_scenario()
+    config = JoinConfig(t_m=T_M, shard_engine="columnar")
+    t0 = monotonic_clock()
+    engine = ShardedJoinEngine(
+        scenario.set_a,
+        scenario.set_b,
+        algorithm=ALGORITHM,
+        config=config,
+        shards=shards,
+        workers=workers,
+    )
+    build_s = monotonic_clock() - t0
+    t0 = monotonic_clock()
+    engine.run_initial_join()
+    initial_s = monotonic_clock() - t0
+    stream = VectorUpdateStream(arrays, seed=SEED + 1)
+    t0 = monotonic_clock()
+    updates = 0
+    for step in range(1, steps + 1):
+        t = float(step)
+        engine.tick(t)
+        upd_a, upd_b = stream.updates_at(t)
+        updates += len(upd_a) + len(upd_b)
+        engine.apply_update_columns(upd_a, upd_b)
+        engine.result_at(t)
+    tick_s = monotonic_clock() - t0
+    merged = engine.merged_store()
+    row = {
+        "n_per_side": n,
+        "engine": f"sharded-columnar/{shards}x{workers}",
+        "shards": shards,
+        "workers": workers,
+        "steps": steps,
+        "updates": updates,
+        "build_s": round(build_s, 4),
+        "initial_join_s": round(initial_s, 4),
+        "initial_pairs": len(merged),
+        "tick_loop_s": round(tick_s, 4),
+        "tick_mean_s": round(tick_s / steps, 4),
+        "ticks_per_s": round(steps / tick_s, 3),
+        "updates_per_s": round(updates / tick_s, 1),
+        "store_mb": store_mb(merged),
+    }
+    engine.close()
+    return row
+
+
+def run_mmap_1m() -> dict:
+    """Save one 1M-object side as an RPROCOL3 image and map it back.
+
+    The point of the format: a million objects reload as zero-copy
+    views plus lazily recomputed shift planes — no per-object
+    deserialization, no second resident copy of the slabs.
+    """
+    from repro.storage import map_columns, save_columns_file
+
+    arrays = workload(N_1M)
+    cols = arrays.columns_a()
+    n = len(cols)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "side_a.rcol3"
+        t0 = monotonic_clock()
+        nbytes = save_columns_file(path, cols)
+        save_s = monotonic_clock() - t0
+        del cols, arrays
+        t0 = monotonic_clock()
+        mapped = map_columns(path)
+        map_s = monotonic_clock() - t0
+        t0 = monotonic_clock()
+        batch = mapped.batch()  # touches (and CRC-checks) every slab
+        touch_s = monotonic_clock() - t0
+        assert batch.n == n
+    return {
+        "n_objects": n,
+        "engine": "mmap-rprocol3",
+        "file_mb": round(nbytes / (1024.0 * 1024.0), 1),
+        "save_s": round(save_s, 4),
+        "map_open_s": round(map_s, 6),
+        "first_touch_s": round(touch_s, 4),
     }
 
 
@@ -166,39 +313,70 @@ def main() -> int:
     sizes = [10_000] if smoke else list(SIZES)
 
     rows = []
-    rss_100k_mb = None
     for n in sizes:
         print(f"== n = {n:,} per side (space {space_for(n):.0f}) ==")
-        row = run_columnar(n, STEPS)
+        row = run_cell(run_columnar, n, STEPS)
         rows.append(row)
         print(
             f"  columnar: build {row['build_s']:.2f}s, "
             f"initial {row['initial_join_s']:.2f}s ({row['initial_pairs']} pairs), "
-            f"tick {row['tick_mean_s']:.3f}s ({row['updates_per_s']:.0f} upd/s)"
+            f"tick {row['tick_mean_s']:.3f}s ({row['updates_per_s']:.0f} upd/s), "
+            f"rss {row['peak_rss_mb']:.0f} MiB, store {row['store_mb']:.1f} MiB"
         )
-        if n == 100_000:
-            rss_100k_mb = round(peak_rss_mb(), 1)
-            print(f"  peak RSS after 100k cell: {rss_100k_mb:.0f} MiB")
         if n in SEED_BASELINE_SIZES:
-            base = run_seed_baseline(n, STEPS)
+            base = run_cell(run_seed_baseline, n, STEPS)
             rows.append(base)
             speedup = base["tick_mean_s"] / row["tick_mean_s"]
             row["speedup_vs_seed"] = round(speedup, 2)
             print(
                 f"  seed:     build {base['build_s']:.2f}s, "
                 f"initial {base['initial_join_s']:.2f}s, "
-                f"tick {base['tick_mean_s']:.3f}s -> columnar {speedup:.1f}x"
+                f"tick {base['tick_mean_s']:.3f}s "
+                f"(rss {base['peak_rss_mb']:.0f} MiB, "
+                f"store {base['store_mb']:.1f} MiB) "
+                f"-> columnar {speedup:.1f}x"
+            )
+        if n == 100_000 and not smoke:
+            sharded = run_cell(run_sharded_columnar, n, STEPS, 4, 0)
+            rows.append(sharded)
+            sharded_speedup = row["tick_mean_s"] / sharded["tick_mean_s"]
+            sharded["speedup_vs_serial"] = round(sharded_speedup, 2)
+            print(
+                f"  sharded:  4 shards, tick {sharded['tick_mean_s']:.3f}s "
+                f"(rss {sharded['peak_rss_mb']:.0f} MiB) "
+                f"-> {sharded_speedup:.1f}x serial columnar"
+            )
+        if n == 10_000 and smoke:
+            sharded = run_cell(run_sharded_columnar, n, STEPS, 2, 2)
+            rows.append(sharded)
+            print(
+                f"  sharded:  2 shards x 2 workers, "
+                f"tick {sharded['tick_mean_s']:.3f}s "
+                f"(rss {sharded['peak_rss_mb']:.0f} MiB)"
             )
 
+    print(f"== n = {N_1M:,} single side: RPROCOL3 mmap reload ==")
+    mmap_row = run_cell(run_mmap_1m)
+    rows.append(mmap_row)
+    print(
+        f"  save {mmap_row['save_s']:.2f}s ({mmap_row['file_mb']:.0f} MiB), "
+        f"open {mmap_row['map_open_s'] * 1000.0:.1f}ms, "
+        f"first touch {mmap_row['first_touch_s']:.2f}s, "
+        f"rss {mmap_row['peak_rss_mb']:.0f} MiB"
+    )
+
     if with_1m:
-        print("== n = 1,000,000 per side (best effort) ==")
-        row = run_columnar(1_000_000, STEPS_1M)
+        print(f"== n = {N_1M:,} per side join (best effort) ==")
+        row = run_cell(run_columnar, N_1M, STEPS_1M)
         row["best_effort"] = True
         rows.append(row)
-        print(f"  columnar: tick {row['tick_mean_s']:.3f}s")
+        print(
+            f"  columnar: tick {row['tick_mean_s']:.3f}s, "
+            f"rss {row['peak_rss_mb']:.0f} MiB"
+        )
 
     failures = []
-    by_cell = {(r["n_per_side"], r["engine"]): r for r in rows}
+    by_cell = {(r.get("n_per_side"), r["engine"]): r for r in rows}
     cell_10k = by_cell.get((10_000, "columnar"))
     if cell_10k is not None and "speedup_vs_seed" in cell_10k:
         if cell_10k["speedup_vs_seed"] < COLUMNAR_FLOOR:
@@ -206,12 +384,31 @@ def main() -> int:
                 f"columnar {cell_10k['speedup_vs_seed']:.2f}x seed at n=10k "
                 f"< {COLUMNAR_FLOOR}x floor"
             )
+    if smoke and cell_10k is not None:
+        if cell_10k["peak_rss_mb"] > RSS_FLOOR_SMOKE_MB:
+            failures.append(
+                f"peak RSS {cell_10k['peak_rss_mb']:.0f} MiB at n=10k "
+                f"> {RSS_FLOOR_SMOKE_MB:.0f} MiB smoke floor"
+            )
     cell_100k = by_cell.get((100_000, "columnar"))
-    if cell_100k is not None and cell_100k["tick_mean_s"] > TICK_FLOOR_100K_S:
-        failures.append(
-            f"mean tick {cell_100k['tick_mean_s']:.2f}s at n=100k "
-            f"> {TICK_FLOOR_100K_S}s floor"
-        )
+    if cell_100k is not None:
+        if cell_100k["tick_mean_s"] > TICK_FLOOR_100K_S:
+            failures.append(
+                f"mean tick {cell_100k['tick_mean_s']:.2f}s at n=100k "
+                f"> {TICK_FLOOR_100K_S}s floor"
+            )
+        if cell_100k["peak_rss_mb"] > RSS_FLOOR_100K_MB:
+            failures.append(
+                f"peak RSS {cell_100k['peak_rss_mb']:.0f} MiB at n=100k "
+                f"> {RSS_FLOOR_100K_MB:.0f} MiB floor"
+            )
+    cell_sharded = by_cell.get((100_000, "sharded-columnar/4x0"))
+    if cell_sharded is not None:
+        if cell_sharded["speedup_vs_serial"] < SHARDED_FLOOR:
+            failures.append(
+                f"sharded columnar {cell_sharded['speedup_vs_serial']:.2f}x "
+                f"serial at n=100k < {SHARDED_FLOOR}x floor"
+            )
 
     out = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
     out.write_text(
@@ -231,8 +428,13 @@ def main() -> int:
                 "floors": {
                     "columnar_vs_seed_10k": COLUMNAR_FLOOR,
                     "tick_mean_s_100k": TICK_FLOOR_100K_S,
+                    "peak_rss_mb_100k": RSS_FLOOR_100K_MB,
+                    "peak_rss_mb_smoke": RSS_FLOOR_SMOKE_MB,
+                    "sharded_vs_serial_100k": SHARDED_FLOOR,
                 },
-                "peak_rss_mb_100k": rss_100k_mb,
+                "peak_rss_mb_100k": (
+                    None if cell_100k is None else cell_100k["peak_rss_mb"]
+                ),
                 "results": rows,
                 "passed": not failures,
             },

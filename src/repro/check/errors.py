@@ -35,6 +35,9 @@ Sanitizer codes (``SCxxx``, checked at runtime against live structures):
 ``SC701``  folded delta view diverges from the live result store
 ``SC702``  delta event stream not strictly tick-monotone
 ``SC703``  ill-formed delta event (duplicate add / removal of absent row)
+``SC801``  columnar result planes out of order or not pairwise disjoint
+``SC802``  columnar result inverted index disagrees with the planes
+``SC803``  columnar result bookkeeping incoherent after a flush
 ========  ============================================================
 
 Lint codes (``RCxxx``, checked statically over source files):
@@ -95,6 +98,7 @@ SANITIZER_CODES = (
     "SC501", "SC502", "SC503",
     "SC601", "SC602", "SC603",
     "SC701", "SC702", "SC703",
+    "SC801", "SC802", "SC803",
 )
 
 LINT_CODES = ("RC000", "RC001", "RC002", "RC003", "RC004", "RC005", "RC006")

@@ -15,6 +15,10 @@ The paper's correctness hangs on a handful of structural invariants:
   TC bound ``max(lut_a, lut_b) + T_M`` (``lut`` widened to the bucket
   end under MTB bucketing), and the lazy min-expiry frontier holds a
   live entry for every stored pair.
+* **ColumnResultStore**: the SoA layout of the same answer — planes
+  sorted by ``(a, b, lo)`` with disjoint per-pair intervals, the
+  searchsorted inverted index agreeing with the planes, coherent
+  post-flush bookkeeping, and the identical Theorem-1/2 bound.
 * **Sharded engine** (:mod:`repro.par`): the stripe partition covers
   the whole domain, every object is resident in exactly the shards its
   swept ghost halo touches, and pairs co-located on several shards
@@ -54,6 +58,7 @@ __all__ = [
     "check_sharded_state",
     "check_supervisor_state",
     "check_column_store",
+    "check_column_result_store",
     "check_delta_ledger",
     "check_index",
     "sanitize_engine",
@@ -638,14 +643,181 @@ def check_delta_ledger(store, source, label: str = "ledger") -> List[Finding]:
     return findings
 
 
+def check_column_result_store(
+    store,
+    t_m: Optional[float] = None,
+    anchors: Optional[Dict[int, float]] = None,
+    floor: Optional[float] = None,
+    label: str = "column-store",
+) -> List[Finding]:
+    """Columnar result-store invariants (codes SC801–SC803, plus SC303).
+
+    The SoA analogue of :func:`check_result_store`, audited directly on
+    the planes of a :class:`~repro.core.result.ColumnResultStore` (the
+    store is flushed first so the canonical layout is what's checked):
+
+    * **SC801** — the planes are sorted by ``(a, b, lo)`` and each
+      pair's intervals are pairwise disjoint beyond the merge tolerance
+      (the columnar mirror of SC301/SC302).
+    * **SC802** — the searchsorted inverted index agrees with the
+      planes: the cached pair-run boundaries equal a fresh recompute,
+      and the lazy ``b``-side ordering, when built, actually sorts the
+      ``b`` plane.
+    * **SC803** — bookkeeping is coherent after a flush: no pending
+      batches or dead rows survive, the pair count matches the run
+      boundaries, and every row is a valid interval (finite start,
+      no NaN, ``lo <= hi``).
+
+    The Theorem-1/2 window bound is shared with the list store and
+    reported under the same **SC303** code (``anchors``/``floor``
+    semantics identical to :func:`check_result_store`).  Ledger
+    reconciliation stays with :func:`check_delta_ledger` — the SC701–703
+    fold works off ``interval_rows()`` and needs no layout-specific
+    twin.
+    """
+    import numpy as np
+
+    findings: List[Finding] = []
+    store.flush()
+    n = store._n
+    a = store._a[:n]
+    b = store._b[:n]
+    lo = store._lo[:n]
+    hi = store._hi[:n]
+
+    # SC801: global (a, b, lo) order, per-pair disjointness.
+    if n > 1:
+        same_pair = (a[1:] == a[:-1]) & (b[1:] == b[:-1])
+        pair_order = (a[1:] > a[:-1]) | ((a[1:] == a[:-1]) & (b[1:] >= b[:-1]))
+        if not bool(pair_order.all()):
+            row = int(np.nonzero(~pair_order)[0][0]) + 1
+            findings.append(Finding(
+                "SC801",
+                f"pair keys out of order at row {row}: "
+                f"({int(a[row - 1])}, {int(b[row - 1])}) then "
+                f"({int(a[row])}, {int(b[row])})",
+                label,
+            ))
+        bad_lo = same_pair & (lo[1:] < lo[:-1])
+        if bool(bad_lo.any()):
+            row = int(np.nonzero(bad_lo)[0][0]) + 1
+            findings.append(Finding(
+                "SC801",
+                f"interval starts out of order within pair "
+                f"({int(a[row])}, {int(b[row])}) at row {row}",
+                label,
+            ))
+        overlap = same_pair & ~bad_lo & (lo[1:] <= hi[:-1] + MERGE_TOL)
+        if bool(overlap.any()):
+            row = int(np.nonzero(overlap)[0][0]) + 1
+            findings.append(Finding(
+                "SC801",
+                f"intervals not disjoint within pair "
+                f"({int(a[row])}, {int(b[row])}): "
+                f"[{lo[row - 1]:g}, {hi[row - 1]:g}] then "
+                f"[{lo[row]:g}, {hi[row]:g}]",
+                label,
+            ))
+
+    # SC802: cached index structures versus a fresh recompute.  The
+    # boundary scan is restated inline (not imported from repro.core) so
+    # the checker audits the store without sharing its code.
+    if n == 0:
+        expect_runs = np.empty(0, dtype=np.int64)
+    else:
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        np.logical_or(a[1:] != a[:-1], b[1:] != b[:-1], out=boundary[1:])
+        expect_runs = np.nonzero(boundary)[0]
+    if not np.array_equal(store._run_starts, expect_runs):  # noqa: RC001
+        findings.append(Finding(
+            "SC802",
+            f"cached pair-run boundaries ({store._run_starts.shape[0]}) "
+            f"diverge from recompute ({expect_runs.shape[0]})",
+            label,
+        ))
+    if store._b_order is not None:
+        order = store._b_order
+        if order.shape[0] != n or not bool(
+            np.all(b[order][1:] >= b[order][:-1]) if n > 1 else True
+        ):
+            findings.append(Finding(
+                "SC802", "b-side inverted index does not sort the b plane", label
+            ))
+
+    # SC803: flush left coherent bookkeeping and valid rows.
+    if store._pend or store._dead:
+        findings.append(Finding(
+            "SC803",
+            f"flush left {len(store._pend)} pending batches and "
+            f"{store._dead} dead rows",
+            label,
+        ))
+    if not bool(store._live[:n].all()):
+        findings.append(Finding(
+            "SC803", "dead rows survived a flush", label
+        ))
+    if store._n_pairs != expect_runs.shape[0]:
+        findings.append(Finding(
+            "SC803",
+            f"pair count {store._n_pairs} does not match "
+            f"{expect_runs.shape[0]} pair runs",
+            label,
+        ))
+    if n:
+        if bool(np.isnan(lo).any()) or bool(np.isnan(hi).any()):
+            findings.append(Finding("SC803", "NaN interval endpoints", label))
+        if bool(np.isinf(lo).any()):
+            findings.append(Finding("SC803", "interval starting at +inf", label))
+        bad = hi < lo
+        if bool(bad.any()):
+            row = int(np.nonzero(bad)[0][0])
+            findings.append(Finding(
+                "SC803", f"empty interval [{lo[row]:g}, {hi[row]:g}]", label
+            ))
+
+    # SC303: the shared Theorem-1/2 window bound, on the planes.
+    if t_m is not None and anchors is not None and n:
+        anchor = np.full(n, -INF)
+        if anchors:
+            keys = np.fromiter(anchors.keys(), dtype=np.int64, count=len(anchors))
+            vals = np.fromiter(anchors.values(), dtype=float, count=len(anchors))
+            order = np.argsort(keys)
+            keys, vals = keys[order], vals[order]
+
+            def look(oids: np.ndarray) -> np.ndarray:
+                pos = np.searchsorted(keys, oids)
+                pos[pos >= keys.shape[0]] = 0
+                hit = keys[pos] == oids
+                out = np.where(hit, vals[pos], -INF)
+                return out
+
+            anchor = np.maximum(look(a), look(b))
+        if floor is not None:
+            anchor = np.maximum(anchor, floor)
+        bound = anchor + t_m + MERGE_TOL
+        bad = (anchor > -INF) & (hi > bound)
+        if bool(bad.any()):
+            row = int(np.nonzero(bad)[0][0])
+            findings.append(Finding(
+                "SC303",
+                f"interval [{lo[row]:g}, {hi[row]:g}] of pair "
+                f"({int(a[row])}, {int(b[row])}) exceeds the TC bound "
+                f"{anchor[row]:g} + T_M = {anchor[row] + t_m:g}",
+                f"{label}/pair ({int(a[row])}, {int(b[row])})",
+            ))
+    return findings
+
+
 def sanitize_columnar_engine(engine) -> List[Finding]:
     """Check everything a columnar engine maintains.
 
-    Both column stores (SC601–SC603) plus the shared result-store
-    invariants (SC301–SC305), with the same Theorem-1/2 interval bound
-    the object engine is audited against: per-object anchors are the
-    reference times (TC) or their bucket ends (MTB), straight from the
-    live ``tref`` column.
+    Both column stores (SC601–SC603) plus the result-store invariants —
+    SC301–SC305 when the engine keeps per-pair interval lists,
+    SC801–SC803 when it keeps interval planes — with the same
+    Theorem-1/2 interval bound the object engine is audited against:
+    per-object anchors are the reference times (TC) or their bucket
+    ends (MTB), straight from the live ``tref`` column.
     """
     t = engine.now
     findings: List[Finding] = []
@@ -662,13 +834,21 @@ def sanitize_columnar_engine(engine) -> List[Finding]:
         else:
             ends = store.tref[: store.n].tolist()
         anchors.update(zip(oids, ends))
-    findings.extend(check_result_store(
+    # Duck-typed layout dispatch (this module never imports repro.core):
+    # the SoA store is the one with cached pair-run boundaries.
+    checker = (
+        check_column_result_store
+        if hasattr(engine.store, "_run_starts")
+        else check_result_store
+    )
+    findings.extend(checker(
         engine.store,
         t_m=engine.config.t_m,
         anchors=anchors,
         floor=getattr(engine, "start_time", None),
     ))
     if engine.ledger is not None:
+        engine.store.flush()
         findings.extend(check_delta_ledger(engine.store, engine.ledger))
     return findings
 

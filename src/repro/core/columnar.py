@@ -44,7 +44,7 @@ from ..obs import NULL_SPAN, ObsRecorder
 from ..objects import MovingObject
 from .columns import ColumnStore, ObjectsView, UpdateColumns, columns_from_objects
 from .config import JoinConfig
-from .result import JoinResultStore
+from .result import ColumnResultStore, JoinResultStore
 
 __all__ = ["ColumnarJoinEngine", "COLUMNAR_ALGORITHMS"]
 
@@ -97,7 +97,14 @@ class ColumnarJoinEngine:
         self.now = float(start_time)
         self.start_time = float(start_time)
         self.tracker = CostTracker()
-        self.store = JoinResultStore()
+        #: The maintained answer — SoA interval planes by default, the
+        #: per-pair list store under ``result_store="pairs"`` (the
+        #: oracle/ablation path).  Bit-identical either way.
+        self.store = (
+            ColumnResultStore()
+            if self.config.result_store == "columns"
+            else JoinResultStore()
+        )
         #: Attached :class:`~repro.deltas.DeltaLedger` when
         #: ``config.deltas`` is on; delta extraction rides the store's
         #: ``add_batch`` hot loop as plain scalar records.
@@ -166,6 +173,10 @@ class ColumnarJoinEngine:
         """Advance the clock to ``t`` (monotone non-decreasing)."""
         if t < self.now:
             raise ValueError(f"time went backwards: {t} < {self.now}")
+        # Canonicalize deferred store mutations before the ledger clock
+        # moves, so every delta event lands in the tick that caused it
+        # (no-op on the list store).
+        self.store.flush()
         self.now = t
         if self.ledger is not None:
             self.ledger.advance(t)
@@ -259,11 +270,13 @@ class ColumnarJoinEngine:
                 self.store.remove_object(oid)
             rows_a = self._commit(self.columns_a, upd_a, admit_a)
             rows_b = self._commit(self.columns_b, upd_b, admit_b)
-            remove = self.store.remove_object
-            for oid in upd_a.oid.tolist():
-                remove(oid)
-            for oid in upd_b.oid.tolist():
-                remove(oid)
+            if len(upd_a) or len(upd_b):
+                # One vectorized membership scan invalidates both sides'
+                # stale pairs (equivalent to per-oid removal: the batch
+                # carries unique oids and removal is order-independent).
+                self.store.remove_objects(
+                    np.concatenate([upd_a.oid, upd_b.oid])
+                )
             self._probe(self.columns_a, rows_a, self.columns_b, t, swap=False)
             self._probe(self.columns_b, rows_b, self.columns_a, t, swap=True)
         self._sanitize()
@@ -298,6 +311,7 @@ class ColumnarJoinEngine:
         if t is None:
             t = self.now
         with self._span("engine.deltas", t=t):
+            self.store.flush()
             return self.ledger.events_at(t)
 
     def watch(self, *, oid: Optional[int] = None, region=None):

@@ -31,9 +31,95 @@ import numpy as np
 from ..geometry import NDIMS, Box, KineticBatch, KineticBox
 from ..objects import MovingObject
 
-__all__ = ["ColumnStore", "UpdateColumns", "ObjectsView", "columns_from_objects"]
+__all__ = [
+    "ColumnStore",
+    "UpdateColumns",
+    "ObjectsView",
+    "columns_from_objects",
+    "merge_interval_planes",
+]
 
 _MIN_CAPACITY = 8
+
+
+def pair_run_starts(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Start index of every ``(a, b)`` run in pair-sorted planes.
+
+    ``a``/``b`` must already be sorted with ``a`` major and ``b`` minor
+    (rows of one pair contiguous); the returned indices are the pair
+    boundaries — the inverted index the columnar result store keeps.
+    """
+    n = a.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    new_pair = np.empty(n, dtype=bool)
+    new_pair[0] = True
+    np.logical_or(a[1:] != a[:-1], b[1:] != b[:-1], out=new_pair[1:])
+    return np.nonzero(new_pair)[0]
+
+
+def _segmented_prefix_max(values: np.ndarray, run: np.ndarray) -> np.ndarray:
+    """Inclusive prefix maximum of ``values`` within each ``run`` segment.
+
+    A segmented Hillis–Steele scan: ``run`` is a non-decreasing segment
+    id per element (segments contiguous), and element ``i`` may only
+    absorb maxima from elements of the same segment.  ``O(n log L)``
+    array passes for maximum segment length ``L`` — the interval lists
+    behind one pair are short, so ``L`` (and the pass count) stays tiny
+    even when the planes hold hundreds of thousands of rows.
+    """
+    g = values.copy()
+    n = g.shape[0]
+    if n == 0:
+        return g
+    lengths = np.bincount(run)
+    max_len = int(lengths.max()) if lengths.size else 1
+    shift = 1
+    while shift < max_len:
+        same = run[shift:] == run[:-shift]
+        np.maximum(g[shift:], np.where(same, g[:-shift], -np.inf), out=g[shift:])
+        shift <<= 1
+    return g
+
+
+def merge_interval_planes(
+    a: np.ndarray,
+    b: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    tol: float,
+):
+    """Coalesce pair-keyed interval planes into merged disjoint rows.
+
+    Vectorized :func:`~repro.geometry.interval.merge_intervals` over SoA
+    planes: rows must be sorted by ``(a, b, lo)``; within one pair, rows
+    whose gap to the running merged end is at most ``tol`` collapse into
+    one row carrying the first start and the running maximum end —
+    element for element the exact greedy rule of the scalar merge, so
+    the surviving rows are bit-identical to merging each pair's list
+    through the interval algebra.  Returns ``(a, b, lo, hi)`` merged
+    planes plus the pair-run start indices of the merged rows.
+    """
+    n = a.shape[0]
+    if n == 0:
+        return a, b, lo, hi, np.empty(0, dtype=np.int64)
+    new_pair = np.empty(n, dtype=bool)
+    new_pair[0] = True
+    np.logical_or(a[1:] != a[:-1], b[1:] != b[:-1], out=new_pair[1:])
+    run = np.cumsum(new_pair)
+    reach = _segmented_prefix_max(hi, run)
+    # A row opens a new merged segment when it opens a new pair, or when
+    # it starts beyond the pair's running merged end plus the tolerance
+    # (the scalar merge's append-vs-extend test; the cross-pair lanes of
+    # the comparison are masked out by the new_pair OR).
+    seg = new_pair.copy()
+    np.logical_or(seg[1:], lo[1:] > reach[:-1] + tol, out=seg[1:])
+    starts = np.nonzero(seg)[0]
+    m_a = a[starts]
+    m_b = b[starts]
+    m_lo = lo[starts]
+    m_hi = np.maximum.reduceat(hi, starts)
+    return m_a, m_b, m_lo, m_hi, pair_run_starts(m_a, m_b)
 
 
 @dataclass(slots=True)

@@ -15,13 +15,17 @@ garbage collection of intervals wholly in the past.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterator, List, Set, Tuple
+import sys
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+import numpy as np
 
 from ..geometry import TimeInterval, merge_intervals
 from ..geometry.constants import MERGE_TOL as _MERGE_TOL
 from ..join import JoinTriple
+from .columns import merge_interval_planes, pair_run_starts
 
-__all__ = ["JoinResultStore"]
+__all__ = ["JoinResultStore", "ColumnResultStore"]
 
 PairKey = Tuple[int, int]
 
@@ -181,6 +185,25 @@ class JoinResultStore:
                 if ledger is not None:
                     _record_merge_diff(ledger, key, old, merged)
 
+    def flush(self) -> None:
+        """No-op: the list store is always canonical.
+
+        API parity with :class:`ColumnResultStore`, whose deferred
+        merges must be forced before ledger reads or clock advances;
+        engine code can call ``store.flush()`` unconditionally.
+        """
+
+    def remove_objects(self, oids) -> int:
+        """Drop every pair involving any of ``oids``; returns how many.
+
+        A pair touching two removed objects is counted once (its first
+        removal already dropped it).
+        """
+        dropped = 0
+        for oid in _as_list(oids):
+            dropped += self.remove_object(oid)
+        return dropped
+
     def remove_object(self, oid: int) -> int:
         """Drop every pair involving ``oid``; returns how many."""
         keys = self._by_oid.pop(oid, set())
@@ -269,6 +292,34 @@ class JoinResultStore:
         """Stored pairs involving ``oid`` (the inverted index, copied)."""
         return set(self._by_oid.get(oid, ()))
 
+    def pair_keys(self) -> List[PairKey]:
+        """Every stored pair key, in deterministic (insertion) order."""
+        return list(self._pairs)
+
+    def approx_bytes(self) -> int:
+        """Approximate resident bytes of the store's own structures.
+
+        A shallow ``sys.getsizeof`` walk over the pair map, interval
+        objects, inverted index and frontier — the benchmark's
+        result-store memory column.  Interned keys/floats shared across
+        containers are counted once per reference, so this slightly
+        overstates; good enough for an order-of-magnitude comparison.
+        """
+        getsize = sys.getsizeof
+        total = (
+            getsize(self._pairs) + getsize(self._by_oid) + getsize(self._frontier)
+        )
+        for key, intervals in self._pairs.items():
+            total += getsize(key) + getsize(key[0]) + getsize(key[1])
+            total += getsize(intervals)
+            for iv in intervals:
+                total += getsize(iv) + getsize(iv.start) + getsize(iv.end)
+        for keys in self._by_oid.values():
+            total += getsize(keys)
+        for entry in self._frontier:
+            total += getsize(entry)
+        return total
+
     def interval_rows(self) -> Dict[PairKey, Tuple[Tuple[float, float], ...]]:
         """The whole store as exact ``pair → ((start, end), …)`` rows.
 
@@ -290,3 +341,453 @@ class JoinResultStore:
 
     def __repr__(self) -> str:
         return f"JoinResultStore(pairs={len(self._pairs)})"
+
+
+class ColumnResultStore:
+    """The maintained answer as sorted interval planes (SoA layout).
+
+    Store-identical to :class:`JoinResultStore` — same mutation
+    semantics, same merge rule, same query answers bit-for-bit — but the
+    state is four parallel NumPy planes ``(a, b, lo, hi)`` sorted by
+    ``(a, b, lo)`` instead of a dict of per-pair ``TimeInterval`` lists.
+    At 100k objects per side the list store's ~260k pair lists dominate
+    the engine's memory; the planes hold the same rows in a few
+    megabytes of contiguous arrays.
+
+    Mutations are deferred: :meth:`add_batch` appends to a pending
+    buffer, removals mark rows dead, and :meth:`flush` canonicalizes —
+    one ``lexsort`` plus the vectorized
+    :func:`~repro.core.columns.merge_interval_planes` pass per tick
+    rather than per-row Python work.  Every query (and any ledger read)
+    forces a flush first, so deferral is never observable.
+
+    The inverted index is *searchsorted*: pair lookups binary-search the
+    ``a`` plane (rows of one pair are contiguous), and a lazily built
+    ``argsort`` of the ``b`` plane serves ``b``-side object lookups.
+
+    An attached delta ledger is fed straight from the array diffs:
+    removals record their dead rows, and each flush records the exact
+    per-pair set difference between the pre-merge and post-merge rows —
+    netted per tick this is the same event stream the list store emits
+    (both equal the store's state diff at the tick boundary), which the
+    ``SC701``–``SC703`` reconciliation checks verify.
+    """
+
+    __slots__ = (
+        "_a",
+        "_b",
+        "_lo",
+        "_hi",
+        "_n",
+        "_live",
+        "_dead",
+        "_pend",
+        "_run_starts",
+        "_n_pairs",
+        "_b_order",
+        "_ledger",
+    )
+
+    def __init__(self) -> None:
+        self._a = np.empty(0, dtype=np.int64)
+        self._b = np.empty(0, dtype=np.int64)
+        self._lo = np.empty(0)
+        self._hi = np.empty(0)
+        #: live row count of the planes (dead rows included until flush).
+        self._n = 0
+        self._live = np.empty(0, dtype=bool)
+        #: rows marked dead since the last flush.
+        self._dead = 0
+        #: pending ``(a, b, lo, hi)`` add batches, merged at flush.
+        self._pend: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        #: pair-run boundaries of the canonical planes (searchsorted index).
+        self._run_starts = np.empty(0, dtype=np.int64)
+        self._n_pairs = 0
+        #: lazy stable argsort of the ``b`` plane (b-side inverted index).
+        self._b_order: "np.ndarray | None" = None
+        self._ledger = None
+
+    # ------------------------------------------------------------------
+    # Ledger
+    # ------------------------------------------------------------------
+    def attach_ledger(self, ledger) -> None:
+        """Attach (or detach, with ``None``) a delta ledger.
+
+        Pending mutations are flushed *before* the swap so rows added
+        while detached are never retroactively reported to the new
+        ledger (the checkpoint-restore re-add path relies on this).
+        The ledger gets this store's ``flush`` as its drain hook, so
+        reading it directly (not through the engine) still sees every
+        deferred mutation of the tick.
+        """
+        self.flush()
+        self._ledger = ledger
+        if ledger is not None:
+            ledger._flush = self.flush
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, triple: JoinTriple) -> None:
+        """Record (or extend) a pair's intersection interval."""
+        self.add_batch(
+            (triple.a_oid,),
+            (triple.b_oid,),
+            (triple.interval.start,),
+            (triple.interval.end,),
+        )
+
+    def add_all(self, triples: Iterator[JoinTriple]) -> None:
+        for triple in triples:
+            self.add(triple)
+
+    def add_batch(self, a_oids, b_oids, starts, ends) -> None:
+        """Vectorized :meth:`add`: four parallel arrays, zero Python loops.
+
+        Validates the rows like ``TimeInterval`` would and appends them
+        to the pending buffer; the actual sorted merge is deferred to
+        the next :meth:`flush` (any query forces one).  The merged
+        outcome is order-independent — the interval merge is confluent —
+        so deferral commutes with the list store's immediate merging.
+        """
+        a = np.array(a_oids, dtype=np.int64, copy=True)
+        b = np.array(b_oids, dtype=np.int64, copy=True)
+        lo = np.array(starts, dtype=np.float64, copy=True)
+        hi = np.array(ends, dtype=np.float64, copy=True)
+        k = a.shape[0]
+        if not (b.shape[0] == lo.shape[0] == hi.shape[0] == k):
+            raise ValueError("add_batch arrays must have equal length")
+        if k == 0:
+            return
+        if np.isnan(lo).any() or np.isnan(hi).any():
+            raise ValueError("interval endpoints may not be NaN")
+        if np.isinf(lo).any():
+            raise ValueError("interval may not start at +inf")
+        bad = hi < lo
+        if bad.any():
+            i = int(np.nonzero(bad)[0][0])
+            raise ValueError(f"empty interval: [{lo[i]}, {hi[i]}]")
+        self._pend.append((a, b, lo, hi))
+
+    def remove_object(self, oid: int) -> int:
+        """Drop every pair involving ``oid``; returns how many."""
+        self._merge_pending()
+        oid = int(oid)
+        n = self._n
+        if n == 0:
+            return 0
+        rows_a = np.arange(*self._a_run(oid), dtype=np.int64)
+        border = self._border()
+        b_sorted = self._b[border]
+        k0 = int(np.searchsorted(b_sorted, oid, side="left"))
+        k1 = int(np.searchsorted(b_sorted, oid, side="right"))
+        rows = np.unique(np.concatenate([rows_a, border[k0:k1]]))
+        return self._kill_rows(rows[self._live[rows]])
+
+    def remove_objects(self, oids) -> int:
+        """Batch :meth:`remove_object`: one vectorized membership scan."""
+        self._merge_pending()
+        oid_arr = np.unique(np.asarray(_as_list(oids), dtype=np.int64))
+        n = self._n
+        if n == 0 or oid_arr.shape[0] == 0:
+            return 0
+        mask = np.isin(self._a[:n], oid_arr)
+        mask |= np.isin(self._b[:n], oid_arr)
+        mask &= self._live[:n]
+        return self._kill_rows(np.nonzero(mask)[0])
+
+    def _kill_rows(self, rows: np.ndarray) -> int:
+        """Mark live rows dead; returns the count of pairs fully dropped.
+
+        Callers only pass rows of pairs that die *entirely* (every row
+        of a pair involving a removed object matches the removal), so
+        the dropped-pair count is the number of distinct pairs among the
+        rows — a boundary count over the pair-sorted planes.
+        """
+        k = rows.shape[0]
+        if k == 0:
+            return 0
+        a, b = self._a[rows], self._b[rows]
+        ledger = self._ledger
+        if ledger is not None:
+            record = ledger.record
+            for ra, rb, rlo, rhi in zip(
+                a.tolist(), b.tolist(),
+                self._lo[rows].tolist(), self._hi[rows].tolist(),
+            ):
+                record(-1, ra, rb, rlo, rhi)
+        dropped = int(np.count_nonzero((a[1:] != a[:-1]) | (b[1:] != b[:-1]))) + 1
+        self._live[rows] = False
+        self._dead += k
+        self._n_pairs -= dropped
+        return dropped
+
+    def prune_expired(self, t: float) -> int:
+        """Discard intervals that ended before ``t``; returns pairs dropped."""
+        self.flush()
+        n = self._n
+        if n == 0:
+            return 0
+        dead = self._hi[:n] < t
+        k = int(np.count_nonzero(dead))
+        if k == 0:
+            return 0
+        rows = np.nonzero(dead)[0]
+        ledger = self._ledger
+        if ledger is not None:
+            record = ledger.record
+            for ra, rb, rlo, rhi in zip(
+                self._a[rows].tolist(), self._b[rows].tolist(),
+                self._lo[rows].tolist(), self._hi[rows].tolist(),
+            ):
+                record(-1, ra, rb, rlo, rhi)
+        # A pair drops when *all* of its rows expired.
+        run = np.zeros(n, dtype=np.int64)
+        run[self._run_starts] = 1
+        run = np.cumsum(run) - 1
+        sizes = np.bincount(run, minlength=self._n_pairs)
+        expired = np.bincount(run[rows], minlength=self._n_pairs)
+        dropped = int(np.count_nonzero(expired == sizes))
+        self._live[rows] = False
+        self._dead += k
+        self._n_pairs -= dropped
+        return dropped
+
+    def clear(self) -> None:
+        self.flush()
+        n = self._n
+        ledger = self._ledger
+        if ledger is not None:
+            record = ledger.record
+            for ra, rb, rlo, rhi in zip(
+                self._a[:n].tolist(), self._b[:n].tolist(),
+                self._lo[:n].tolist(), self._hi[:n].tolist(),
+            ):
+                record(-1, ra, rb, rlo, rhi)
+        self._adopt(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0),
+            np.empty(0),
+            np.empty(0, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    # Flush: canonicalize the planes
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Apply deferred mutations: drop dead rows, merge pending adds.
+
+        Engines must call this before reading the attached ledger (or
+        advancing its clock) so every event lands in the tick that
+        caused it; queries call it implicitly.
+        """
+        if self._pend or self._dead:
+            self._rebuild()
+
+    def _merge_pending(self) -> None:
+        """Flush only when pending adds exist (removals tolerate dead rows)."""
+        if self._pend:
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        n = self._n
+        live = self._live[:n]
+        if self._dead:
+            base = (
+                self._a[:n][live],
+                self._b[:n][live],
+                self._lo[:n][live],
+                self._hi[:n][live],
+            )
+        else:
+            base = (self._a[:n], self._b[:n], self._lo[:n], self._hi[:n])
+        if not self._pend:
+            # Dead-only flush: compaction preserves the (a, b, lo) sort
+            # and cannot create new overlaps (per-pair rows stay
+            # disjoint when some are removed), so skip sort and merge;
+            # the -1 events were already recorded by `_kill_rows`.
+            a, b, lo, hi = (np.ascontiguousarray(p) for p in base)
+            self._adopt(a, b, lo, hi, pair_run_starts(a, b))
+            return
+        ledger = self._ledger
+        affected = None
+        old_rows = None
+        if ledger is not None and self._pend:
+            affected = set()
+            for pa, pb, _, _ in self._pend:
+                affected.update(zip(pa.tolist(), pb.tolist()))
+            old_rows = {key: self._pair_rows(key) for key in affected}
+        parts = [base] + self._pend
+        a = np.concatenate([p[0] for p in parts])
+        b = np.concatenate([p[1] for p in parts])
+        lo = np.concatenate([p[2] for p in parts])
+        hi = np.concatenate([p[3] for p in parts])
+        if a.size and a.min() >= 0 and b.min() >= 0 and (
+            a.max() < (1 << 31) and b.max() < (1 << 31)
+        ):
+            # Common case: both oids fit 31 bits, so the (a, b) pair
+            # packs into one int64 sort key — one fewer stable pass
+            # than the three-key lexsort, same order.
+            order = np.lexsort((lo, (a << np.int64(31)) | b))
+        else:
+            order = np.lexsort((lo, b, a))
+        a, b, lo, hi, starts = merge_interval_planes(
+            a[order], b[order], lo[order], hi[order], _MERGE_TOL
+        )
+        self._adopt(a, b, lo, hi, starts)
+        if affected is not None:
+            for key in affected:
+                old = old_rows[key]
+                new = self._pair_rows(key)
+                for start, end in old - new:
+                    ledger.record(-1, key[0], key[1], start, end)
+                for start, end in new - old:
+                    ledger.record(1, key[0], key[1], start, end)
+
+    def _adopt(self, a, b, lo, hi, starts) -> None:
+        self._a, self._b, self._lo, self._hi = a, b, lo, hi
+        self._n = a.shape[0]
+        self._live = np.ones(self._n, dtype=bool)
+        self._dead = 0
+        self._pend = []
+        self._run_starts = starts
+        self._n_pairs = starts.shape[0]
+        self._b_order = None
+
+    # ------------------------------------------------------------------
+    # Searchsorted inverted index
+    # ------------------------------------------------------------------
+    def _a_run(self, oid: int) -> Tuple[int, int]:
+        """Row span whose ``a`` plane equals ``oid`` (planes are a-major)."""
+        n = self._n
+        i0 = int(np.searchsorted(self._a[:n], oid, side="left"))
+        i1 = int(np.searchsorted(self._a[:n], oid, side="right"))
+        return i0, i1
+
+    def _pair_span(self, key: PairKey) -> Tuple[int, int]:
+        """Row span holding pair ``key`` (empty span when absent)."""
+        i0, i1 = self._a_run(int(key[0]))
+        seg = self._b[i0:i1]
+        j0 = i0 + int(np.searchsorted(seg, int(key[1]), side="left"))
+        j1 = i0 + int(np.searchsorted(seg, int(key[1]), side="right"))
+        return j0, j1
+
+    def _pair_rows(self, key: PairKey) -> Set[Tuple[float, float]]:
+        """Current live ``(start, end)`` rows of one pair, as a set."""
+        j0, j1 = self._pair_span(key)
+        if j0 == j1:
+            return set()
+        rows = np.arange(j0, j1, dtype=np.int64)
+        if self._dead:
+            rows = rows[self._live[rows]]
+        return set(zip(self._lo[rows].tolist(), self._hi[rows].tolist()))
+
+    def _border(self) -> np.ndarray:
+        """Stable argsort of the ``b`` plane (built lazily per flush)."""
+        if self._b_order is None or self._b_order.shape[0] != self._n:
+            self._b_order = np.argsort(self._b[: self._n], kind="stable")
+        return self._b_order
+
+    # ------------------------------------------------------------------
+    # Queries (every query sees the canonical planes)
+    # ------------------------------------------------------------------
+    def pairs_at(self, t: float) -> Set[PairKey]:
+        """The continuous-join answer at timestamp ``t``."""
+        self.flush()
+        n = self._n
+        mask = (self._lo[:n] <= t) & (t <= self._hi[:n])
+        rows = np.nonzero(mask)[0]
+        return set(zip(self._a[rows].tolist(), self._b[rows].tolist()))
+
+    def intervals_for(self, key: PairKey) -> List[TimeInterval]:
+        """Stored intervals for a pair (empty when unknown)."""
+        self.flush()
+        j0, j1 = self._pair_span(key)
+        return [
+            TimeInterval(self._lo[j], self._hi[j]) for j in range(j0, j1)
+        ]
+
+    def pairs_for_object(self, oid: int) -> Set[PairKey]:
+        """Stored pairs involving ``oid`` (via the searchsorted index)."""
+        self.flush()
+        oid = int(oid)
+        i0, i1 = self._a_run(oid)
+        found: Set[PairKey] = {
+            (oid, int(x)) for x in np.unique(self._b[i0:i1]).tolist()
+        }
+        border = self._border()
+        b_sorted = self._b[border]
+        k0 = int(np.searchsorted(b_sorted, oid, side="left"))
+        k1 = int(np.searchsorted(b_sorted, oid, side="right"))
+        rows = border[k0:k1]
+        found.update(
+            (int(x), oid) for x in np.unique(self._a[rows]).tolist()
+        )
+        return found
+
+    def pair_keys(self) -> List[PairKey]:
+        """Every stored pair key, in deterministic (sorted) order."""
+        self.flush()
+        starts = self._run_starts
+        return list(
+            zip(self._a[starts].tolist(), self._b[starts].tolist())
+        )
+
+    def interval_rows(self) -> Dict[PairKey, Tuple[Tuple[float, float], ...]]:
+        """The whole store as exact ``pair → ((start, end), …)`` rows."""
+        self.flush()
+        n = self._n
+        a = self._a[:n].tolist()
+        b = self._b[:n].tolist()
+        lo = self._lo[:n].tolist()
+        hi = self._hi[:n].tolist()
+        bounds = self._run_starts.tolist()
+        bounds.append(n)
+        out: Dict[PairKey, Tuple[Tuple[float, float], ...]] = {}
+        for i in range(len(bounds) - 1):
+            s, e = bounds[i], bounds[i + 1]
+            out[(a[s], b[s])] = tuple(zip(lo[s:e], hi[s:e]))
+        return out
+
+    @property
+    def _pairs(self) -> Dict[PairKey, List[TimeInterval]]:
+        """Materialized ``pair → TimeInterval`` list view.
+
+        Compatibility with the list store's inspection surface (the
+        differential tests' ``dump`` helpers); built on demand, never
+        part of the maintained state.
+        """
+        return {
+            key: [TimeInterval(start, end) for start, end in rows]
+            for key, rows in self.interval_rows().items()
+        }
+
+    def approx_bytes(self) -> int:
+        """Resident bytes of the planes (the benchmark memory column)."""
+        total = (
+            self._a.nbytes
+            + self._b.nbytes
+            + self._lo.nbytes
+            + self._hi.nbytes
+            + self._live.nbytes
+            + self._run_starts.nbytes
+        )
+        if self._b_order is not None:
+            total += self._b_order.nbytes
+        for batch in self._pend:
+            total += sum(arr.nbytes for arr in batch)
+        return total
+
+    def __len__(self) -> int:
+        """Number of distinct pairs with any stored interval."""
+        self._merge_pending()
+        return self._n_pairs
+
+    def __contains__(self, key: PairKey) -> bool:
+        self.flush()
+        j0, j1 = self._pair_span(key)
+        return j1 > j0
+
+    def __repr__(self) -> str:
+        return f"ColumnResultStore(pairs={len(self)}, rows={self._n})"

@@ -93,7 +93,7 @@ class DeltaLedger:
     :meth:`events_at`, memoized per tick until new raw records arrive.
     """
 
-    __slots__ = ("_now", "_ticks", "_raw", "_baseline", "_cache")
+    __slots__ = ("_now", "_ticks", "_raw", "_baseline", "_cache", "_flush")
 
     def __init__(
         self,
@@ -101,6 +101,13 @@ class DeltaLedger:
         baseline: Optional[Mapping[PairKey, Tuple[Row, ...]]] = None,
     ) -> None:
         self._now = float(start_time)
+        #: Optional callback draining deferred store mutations into the
+        #: raw record before any read or clock move.  A store with a
+        #: deferred write path (:class:`~repro.core.result.
+        #: ColumnResultStore`) installs its ``flush`` here on attach, so
+        #: reading the ledger directly — not only through the engine —
+        #: always sees the canonicalized stream.
+        self._flush: Optional[callable] = None
         #: Every tick with at least one raw record, in recording order
         #: (monotone by construction: records land at the current clock).
         self._ticks: List[float] = []
@@ -121,6 +128,8 @@ class DeltaLedger:
         """Move the ledger clock forward (monotone non-decreasing)."""
         if t < self._now:
             raise ValueError(f"time went backwards: {t} < {self._now}")
+        if self._flush is not None:
+            self._flush()
         self._now = float(t)
 
     def record(self, sign: int, a_oid: int, b_oid: int, start: float, end: float) -> None:
@@ -134,6 +143,8 @@ class DeltaLedger:
 
     def ticks(self) -> Tuple[float, ...]:
         """Every tick that recorded at least one raw transition."""
+        if self._flush is not None:
+            self._flush()
         return tuple(self._ticks)
 
     def events_at(self, t: float) -> Tuple[DeltaEvent, ...]:
@@ -142,6 +153,8 @@ class DeltaLedger:
         Constant-delay enumeration: the tuple is materialized once per
         (tick, record count) and handed out as-is afterwards.
         """
+        if self._flush is not None:
+            self._flush()
         raw = self._raw.get(t)
         if raw is None:
             return ()

@@ -342,8 +342,13 @@ def batch_select_sweep_dimension(batch_a: KineticBatch, batch_b: KineticBatch) -
 
 #: Default flush threshold (candidate pairs) for the chunked sweep join.
 #: Bounds peak memory at roughly ``chunk * 8 doubles`` regardless of how
-#: many candidates the sweep produces in total.
-SWEEP_JOIN_CHUNK = 4_000_000
+#: many candidates the sweep produces in total.  Results are
+#: chunk-invariant (the window math is elementwise); the value only
+#: trades gather-temporary size against dispatch count.  64k keeps the
+#: per-flush working set (~a few MiB) inside cache, which measures both
+#: *faster* and an order of magnitude lighter than multi-million-row
+#: flushes at the 100k-per-side scale.
+SWEEP_JOIN_CHUNK = 65_536
 
 
 def batch_sweep_join(
@@ -392,59 +397,69 @@ def batch_sweep_join(
     order_b = np.argsort(lb_b, kind="stable")
     lba, uba = lb_a[order_a], ub_a[order_a]
     lbb, ubb = lb_b[order_b], ub_b[order_b]
-    # Candidate stop per pivot: first position whose lb exceeds the
-    # pivot's ub.  Identical to the scalar scan because lb is sorted.
-    stops_a = np.searchsorted(lbb, uba, side="right").tolist()
-    stops_b = np.searchsorted(lba, ubb, side="right").tolist()
-    lba_list, lbb_list = lba.tolist(), lbb.tolist()
+    m, n = batch_a.n, batch_b.n
+    # Each pivot's candidate segment on the other (sorted) side is a
+    # contiguous range, both ends from one binary search: the start is
+    # the scalar sweep's pointer position when the pivot is processed
+    # (the count of opposing lbs strictly before it — `<=` for b-side
+    # pivots, since lb ties process side a first), the stop is the
+    # first position whose lb exceeds the pivot's ub.  This replaces
+    # the per-pivot python merge loop with O(segments) array work.
+    starts_a = np.searchsorted(lbb, lba, side="left")
+    stops_a = np.searchsorted(lbb, uba, side="right")
+    starts_b = np.searchsorted(lba, lbb, side="right")
+    stops_b = np.searchsorted(lba, ubb, side="right")
+    # Merged pivot order = the scalar sweep's processing order: both lb
+    # arrays are sorted, so one stable argsort of their concatenation
+    # interleaves them and keeps side a first on ties.
+    merged = np.argsort(np.concatenate([lba, lbb]), kind="stable")
+    counts = np.maximum(
+        np.concatenate([stops_a - starts_a, stops_b - starts_b]), 0
+    )[merged]
+    seg_start = np.concatenate([starts_a, starts_b])[merged]
+    piv_val = np.concatenate([order_a, order_b])[merged]
+    piv_is_b = merged >= m
+    cum = np.cumsum(counts)
+    total = int(cum[-1]) if counts.size else 0
+    if total == 0:
+        if counter is not None:
+            counter[0] += 0
+        return empty
+    seg_off = cum - counts
     out_a: List = []
     out_b: List = []
     out_lo: List = []
     out_hi: List = []
-    a_parts: List = []
-    b_parts: List = []
-    pending = 0
-    tested = 0
-
-    def flush() -> None:
-        nonlocal pending, tested
-        if not a_parts:
-            return
-        idx_a = np.concatenate(a_parts)
-        idx_b = np.concatenate(b_parts)
-        a_parts.clear()
-        b_parts.clear()
-        pending = 0
-        tested += int(idx_a.shape[0])
+    n_seg = int(counts.size)
+    seg = 0
+    while seg < n_seg:
+        # Largest block of whole segments near the chunk budget (always
+        # at least one, so a single oversized segment still flushes).
+        end = int(np.searchsorted(cum, int(seg_off[seg]) + chunk, side="left"))
+        end = max(min(end + 1, n_seg), seg + 1)
+        cnt = counts[seg:end]
+        t = int(cum[end - 1] - seg_off[seg])
+        if t == 0:
+            seg = end
+            continue
+        base = np.cumsum(cnt) - cnt
+        within = np.arange(t, dtype=np.int64) - np.repeat(base, cnt)
+        pos = np.repeat(seg_start[seg:end], cnt) + within
+        pivot = np.repeat(piv_val[seg:end], cnt)
+        from_b = np.repeat(piv_is_b[seg:end], cnt)
+        # A pivot pairs with the *other* side's sorted run; gather both
+        # (clipped in-bounds) and select per row.
+        idx_a = np.where(from_b, order_a[np.minimum(pos, m - 1)], pivot)
+        idx_b = np.where(from_b, pivot, order_b[np.minimum(pos, n - 1)])
         lo, hi, ok = windows(batch_a, idx_a, batch_b, idx_b, t0, t1)
         sel = np.nonzero(ok)[0]
         out_a.append(idx_a[sel])
         out_b.append(idx_b[sel])
         out_lo.append(lo[sel])
         out_hi.append(hi[sel])
-
-    ia = ib = 0
-    m, n = batch_a.n, batch_b.n
-    while ia < m and ib < n:
-        if lba_list[ia] <= lbb_list[ib]:
-            stop = stops_a[ia]
-            if stop > ib:
-                a_parts.append(np.full(stop - ib, order_a[ia]))
-                b_parts.append(order_b[ib:stop])
-                pending += stop - ib
-            ia += 1
-        else:
-            stop = stops_b[ib]
-            if stop > ia:
-                a_parts.append(order_a[ia:stop])
-                b_parts.append(np.full(stop - ia, order_b[ib]))
-                pending += stop - ia
-            ib += 1
-        if pending >= chunk:
-            flush()
-    flush()
+        seg = end
     if counter is not None:
-        counter[0] += tested
+        counter[0] += total
     if not out_a:
         return empty
     return (

@@ -13,8 +13,9 @@ picklable values (tuples, dicts, :class:`~repro.metrics.CostSnapshot`).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..core.columnar import ColumnarJoinEngine
 from ..core.config import JoinConfig
 from ..core.engine import ContinuousJoinEngine
 from ..faults import FaultPlan
@@ -55,11 +56,42 @@ __all__ = [
 #: blob from a positional tuple to explicit dict keys so producers and
 #: consumers can be cross-checked statically (RC104); ``/3`` added the
 #: ``delta_seed`` key — the open tick's netted delta events — so a
-#: restored shard's delta ledger resumes exactly-once mid-tick.
-CHECKPOINT_FORMAT = "repro.par.ckpt/3"
+#: restored shard's delta ledger resumes exactly-once mid-tick; ``/4``
+#: added the ``engine`` key (``"object"`` | ``"columnar"``) so restore
+#: rebuilds the same engine class the shard was running
+#: (``JoinConfig.shard_engine``).
+CHECKPOINT_FORMAT = "repro.par.ckpt/4"
+
+#: Either engine class a shard may run (``JoinConfig.shard_engine``).
+ShardEngine = Union[ContinuousJoinEngine, ColumnarJoinEngine]
 
 #: Per-process registry of shard engines (pool workers only).
-_ENGINES: Dict[int, ContinuousJoinEngine] = {}
+_ENGINES: Dict[int, ShardEngine] = {}
+
+
+def _engine_class(config: JoinConfig):
+    """The engine class ``config.shard_engine`` selects."""
+    return (
+        ColumnarJoinEngine
+        if config.shard_engine == "columnar"
+        else ContinuousJoinEngine
+    )
+
+
+def _engine_kind(engine: ShardEngine) -> str:
+    """The ``shard_engine`` tag of a live engine (checkpoint key)."""
+    return "columnar" if isinstance(engine, ColumnarJoinEngine) else "object"
+
+
+def _result_store(engine: ShardEngine):
+    """The engine's result store, independent of engine layout.
+
+    The columnar engine exposes it as ``engine.store``; the object
+    engine keeps it behind the strategy.  Explicit ``None`` test — an
+    empty store is falsy, so ``or``-chaining would misroute it.
+    """
+    store = getattr(engine, "store", None)
+    return engine._strategy.store if store is None else store
 
 
 def build_spec(
@@ -73,7 +105,7 @@ def build_spec(
     return (list(objects_a), list(objects_b), algorithm, config, start_time)
 
 
-def apply_shard_ops(engine: ContinuousJoinEngine, ops: Sequence[Tuple]) -> None:
+def apply_shard_ops(engine: ShardEngine, ops: Sequence[Tuple]) -> None:
     """Apply one tick's membership-resolved op batch to a shard engine.
 
     ``ops`` mixes ``("update", obj)`` for objects staying resident,
@@ -98,16 +130,12 @@ def apply_shard_ops(engine: ContinuousJoinEngine, ops: Sequence[Tuple]) -> None:
     engine.apply_updates(updates, admit=admissions, evict=evictions)
 
 
-def _dump_store(engine: ContinuousJoinEngine) -> List[Tuple]:
+def _dump_store(engine: ShardEngine) -> List[Tuple]:
     """The result store as ``(key, ((start, end), …))`` rows."""
-    store = engine._strategy.store
-    return [
-        (key, tuple((iv.start, iv.end) for iv in intervals))
-        for key, intervals in store._pairs.items()
-    ]
+    return list(_result_store(engine).interval_rows().items())
 
 
-def _pull_deltas(engine: ContinuousJoinEngine, t: float) -> Tuple:
+def _pull_deltas(engine: ShardEngine, t: float) -> Tuple:
     """The shard's cumulative netted delta events at tick ``t``.
 
     Non-mutating and therefore never op-logged: the parent may re-pull
@@ -122,7 +150,7 @@ def _pull_deltas(engine: ContinuousJoinEngine, t: float) -> Tuple:
         return tuple(ledger.events_at(t))
 
 
-def _open_delta_events(engine: ContinuousJoinEngine) -> Tuple:
+def _open_delta_events(engine: ShardEngine) -> Tuple:
     """Plain-tuple ``(sign, a, b, start, end)`` rows of the open tick.
 
     Checkpoint payload: a checkpoint can land mid-tick (between
@@ -139,7 +167,7 @@ def _open_delta_events(engine: ContinuousJoinEngine) -> Tuple:
     )
 
 
-def make_checkpoint(engine: ContinuousJoinEngine) -> Dict:
+def make_checkpoint(engine: ShardEngine) -> Dict:
     """Serialize a shard engine into a picklable recovery blob.
 
     The blob is the *rebuild recipe*, not the structure: the engine's
@@ -148,7 +176,9 @@ def make_checkpoint(engine: ContinuousJoinEngine) -> Dict:
     has the same future behaviour (index shape may differ; search
     answers are shape-independent) and re-adding the dumped rows
     reproduces the store bit-for-bit — so checkpoint + op-log replay
-    lands on the exact pre-crash state.
+    lands on the exact pre-crash state.  The ``engine`` key records
+    which engine class was running, so a columnar shard restores as a
+    columnar shard even under a config whose default differs.
     """
     spec = build_spec(
         list(engine.objects_a.values()),
@@ -163,6 +193,7 @@ def make_checkpoint(engine: ContinuousJoinEngine) -> Dict:
         "rows": _dump_store(engine),
         "update_count": engine.update_count,
         "delta_seed": _open_delta_events(engine),
+        "engine": _engine_kind(engine),
     }
 
 
@@ -178,32 +209,44 @@ def checkpoint_spec(blob: Dict) -> Tuple:
     return _checked_blob(blob)["spec"]
 
 
-def restore_engine(blob: Dict) -> ContinuousJoinEngine:
-    """Rebuild a shard engine from a checkpoint blob."""
-    from ..core.result import JoinResultStore  # noqa: F401 (doc anchor)
-    from ..geometry import TimeInterval
-    from ..join import JoinTriple
+def restore_engine(blob: Dict) -> ShardEngine:
+    """Rebuild a shard engine from a checkpoint blob.
 
+    The ``engine`` tag picks the class; the store re-add is one
+    :meth:`~repro.core.result.JoinResultStore.add_batch` over the
+    dumped rows — already canonical (sorted, merged, disjoint), so both
+    store layouts land on the exact pre-checkpoint planes/lists.
+    """
     blob = _checked_blob(blob)
     rows = blob["rows"]
     update_count = blob["update_count"]
     seed = blob["delta_seed"]
     objects_a, objects_b, algorithm, config, start_time = blob["spec"]
-    engine = ContinuousJoinEngine(
+    cls = ColumnarJoinEngine if blob["engine"] == "columnar" else ContinuousJoinEngine
+    engine = cls(
         objects_a,
         objects_b,
         algorithm=algorithm,
         config=config,
         start_time=start_time,
     )
-    store = engine._strategy.store
+    store = _result_store(engine)
     # Detach any fresh ledger while the dump is re-added: re-adding
     # history must not re-emit it as delta events.
     if engine.ledger is not None:
         store.attach_ledger(None)
+    flat_a: List[int] = []
+    flat_b: List[int] = []
+    flat_lo: List[float] = []
+    flat_hi: List[float] = []
     for key, intervals in rows:
         for start, end in intervals:
-            store.add(JoinTriple(key[0], key[1], TimeInterval(start, end)))
+            flat_a.append(key[0])
+            flat_b.append(key[1])
+            flat_lo.append(start)
+            flat_hi.append(end)
+    if flat_a:
+        store.add_batch(flat_a, flat_b, flat_lo, flat_hi)
     if engine.ledger is not None:
         _reseed_ledger(engine, store, rows, seed)
     engine.update_count = update_count
@@ -211,7 +254,7 @@ def restore_engine(blob: Dict) -> ContinuousJoinEngine:
     return engine
 
 
-def _reseed_ledger(engine: ContinuousJoinEngine, store, rows, seed) -> None:
+def _reseed_ledger(engine: ShardEngine, store, rows, seed) -> None:
     """Re-arm a restored engine's delta ledger, exactly-once.
 
     The checkpoint rows are the store *at checkpoint time* = the
@@ -235,16 +278,17 @@ def _reseed_ledger(engine: ContinuousJoinEngine, store, rows, seed) -> None:
     store.attach_ledger(fresh)
 
 
-def _prune(engine: ContinuousJoinEngine) -> List[Tuple[int, int]]:
+def _prune(engine: ShardEngine) -> List[Tuple[int, int]]:
     """Prune expired intervals; returns the pair keys fully dropped."""
-    store = engine._strategy.store
-    before = set(store._pairs)
+    store = _result_store(engine)
+    before = store.pair_keys()
     engine.prune_expired()
-    return [key for key in before if key not in store._pairs]
+    after = set(store.pair_keys())
+    return [key for key in before if key not in after]
 
 
 def execute(
-    engines: Dict[int, ContinuousJoinEngine], cmds: Sequence[Tuple]
+    engines: Dict[int, ShardEngine], cmds: Sequence[Tuple]
 ) -> List[Any]:
     """Run a command batch against a registry; one result per command.
 
@@ -266,7 +310,7 @@ def execute(
             )
         if op == OP_BUILD:
             objects_a, objects_b, algorithm, config, start_time = cmd[2]
-            engines[sid] = ContinuousJoinEngine(
+            engines[sid] = _engine_class(config)(
                 objects_a,
                 objects_b,
                 algorithm=algorithm,

@@ -8,11 +8,15 @@ exact while the experiments stay laptop-fast.
 
 from .buffer import DEFAULT_BUFFER_PAGES, BufferPool, PageCodec
 from .column_pages import (
+    MappedColumns,
     free_columns,
     load_column_store,
     load_columns,
+    map_columns,
+    read_column_stream,
     save_column_store,
     save_columns,
+    save_columns_file,
 )
 from .disk import DEFAULT_PAGE_SIZE, CorruptPageError, DiskManager, PageError
 from .file_disk import FileDiskManager
@@ -30,6 +34,10 @@ __all__ = [
     "free_columns",
     "save_column_store",
     "load_column_store",
+    "read_column_stream",
+    "save_columns_file",
+    "map_columns",
+    "MappedColumns",
     "BufferPool",
     "PageCodec",
     "BytesCodec",

@@ -23,18 +23,30 @@ byte, the exact column-payload length, and a CRC32 of the payload,
 verified on load — a truncated chain or a flipped bit raises
 :class:`~repro.storage.disk.CorruptPageError` instead of decoding
 garbage.  Legacy version-1 streams (magic ``RPROCOLS``, header only)
-stay loadable; new streams are always written as version 2.
+stay loadable; new page chains are always written as version 2.  All
+three versions decode through one reader, :func:`read_column_stream`.
+
+Memory-mapped slabs (version 3): :func:`save_columns_file` writes a
+flat ``RPROCOL3`` file — a CRC-checked header, a per-slab CRC table,
+then the same slab order as the streams, 8-byte aligned — and
+:func:`map_columns` opens it as :class:`MappedColumns`: zero-copy
+``np.memmap`` views per column, slab CRCs verified lazily on first
+touch, and the derived ``slo``/``shi`` shift planes recomputed lazily
+per mapped slab.  This is how a 1M-object dataset reloads without full
+deserialization: opening validates only the fixed header, and a probe
+that touches two columns faults in two slabs, not the whole file.
 """
 
 from __future__ import annotations
 
 import struct
 import zlib
-from typing import List
+from typing import List, Union
 
 import numpy as np
 
 from ..geometry.box import NDIMS
+from ..geometry.kernels import KineticBatch
 from .disk import CorruptPageError
 
 __all__ = [
@@ -43,15 +55,35 @@ __all__ = [
     "free_columns",
     "save_column_store",
     "load_column_store",
+    "read_column_stream",
+    "save_columns_file",
+    "map_columns",
+    "MappedColumns",
 ]
 
 _MAGIC_V1 = b"RPROCOLS"
 _MAGIC_V2 = b"RPROCOL2"
+_MAGIC_V3 = b"RPROCOL3"
 _HEAD_V1 = struct.Struct("<8sqq")  # magic, n rows, ndims
 _HEAD_V2 = struct.Struct("<8sBqqqI")  # magic, version, n, ndims, len, crc
+_HEAD_V3 = struct.Struct("<8sBqq")  # magic, version, n, ndims
 _VERSION = 2
+_VERSION_V3 = 3
 _NEXT = struct.Struct("<q")
 _END = -1
+
+#: Slab order shared by every stream version: ``oid``, ``tref``, then
+#: each bound plane dimension-major (``mlo[0], mlo[1], mhi[0], …``).
+_N_SLABS = 2 + 4 * NDIMS
+_SLAB_NAMES = tuple(
+    ["oid", "tref"]
+    + [f"{name}{dim}" for name in ("mlo", "mhi", "vlo", "vhi") for dim in range(NDIMS)]
+)
+_CRC_TABLE = struct.Struct(f"<{_N_SLABS}I")
+_HEAD_CRC = struct.Struct("<I")
+#: Full v3 header: fixed fields + slab CRC table + header CRC, padded
+#: so the first slab starts 8-byte aligned (zero-copy float64 views).
+_V3_HEADER_SIZE = -(-(_HEAD_V3.size + _CRC_TABLE.size + _HEAD_CRC.size) // 8) * 8
 
 
 def _encode(cols) -> bytes:
@@ -72,11 +104,14 @@ def _encode(cols) -> bytes:
     return head + payload
 
 
-def _decode(stream: bytes):
-    """Inverse of :func:`_encode`; returns ``UpdateColumns``.
+def read_column_stream(stream: bytes):
+    """Decode any column-stream version into ``UpdateColumns``.
 
-    Accepts both the current checksummed version-2 streams and legacy
-    version-1 streams (header without integrity fields).
+    The one reader every load path funnels through: checksummed
+    version-2 streams, legacy version-1 streams (header without
+    integrity fields, but still length-checked against the declared row
+    count), and flat version-3 slab images (header + per-slab CRCs, as
+    written by :func:`save_columns_file`).
     """
     from ..core.columns import UpdateColumns
 
@@ -97,8 +132,30 @@ def _decode(stream: bytes):
             raise CorruptPageError("column stream failed its CRC32 check")
         pos = _HEAD_V2.size
     elif magic == _MAGIC_V1:
+        if len(stream) < _HEAD_V1.size:
+            raise CorruptPageError("column stream header truncated")
         _, n, ndims = _HEAD_V1.unpack_from(stream, 0)
         pos = _HEAD_V1.size
+        need = _N_SLABS * 8 * n
+        if len(stream) - pos < need:
+            raise CorruptPageError(
+                f"column stream truncated: expected {need} payload "
+                f"bytes, found {len(stream) - pos}"
+            )
+    elif magic == _MAGIC_V3:
+        n, ndims, crcs = _parse_v3_header(stream)
+        pos = _V3_HEADER_SIZE
+        if len(stream) - pos < _N_SLABS * 8 * n:
+            raise CorruptPageError(
+                f"column slab image truncated: expected {_N_SLABS * 8 * n} "
+                f"slab bytes, found {len(stream) - pos}"
+            )
+        for i, name in enumerate(_SLAB_NAMES):
+            slab = stream[pos + i * 8 * n : pos + (i + 1) * 8 * n]
+            if zlib.crc32(slab) != crcs[i]:
+                raise CorruptPageError(
+                    f"column slab {name!r} failed its CRC32 check"
+                )
     else:
         raise ValueError("not a column-page stream")
     if ndims != NDIMS:
@@ -118,6 +175,10 @@ def _decode(stream: bytes):
         bounds.append(np.vstack(rows) if n else np.empty((NDIMS, 0)))
     mlo, mhi, vlo, vhi = bounds
     return UpdateColumns(oid=oid, mlo=mlo, mhi=mhi, vlo=vlo, vhi=vhi, tref=tref)
+
+
+# Page-chain loads and flat-file materialization share the reader.
+_decode = read_column_stream
 
 
 def save_columns(disk, cols) -> int:
@@ -192,3 +253,212 @@ def load_column_store(disk, root: int):
     if len(cols):
         store.add(cols)
     return store
+
+
+# ----------------------------------------------------------------------
+# Version-3 flat slab images (memory-mapped reads)
+# ----------------------------------------------------------------------
+def _v3_header(n: int, slab_crcs: List[int]) -> bytes:
+    """The padded ``RPROCOL3`` header for ``n`` rows."""
+    head = _HEAD_V3.pack(_MAGIC_V3, _VERSION_V3, n, NDIMS)
+    head += _CRC_TABLE.pack(*slab_crcs)
+    head += _HEAD_CRC.pack(zlib.crc32(head))
+    return head.ljust(_V3_HEADER_SIZE, b"\0")
+
+
+def _parse_v3_header(buf) -> tuple:
+    """Validate a v3 header; returns ``(n, ndims, slab_crcs)``.
+
+    ``buf`` is any byte buffer at least ``_V3_HEADER_SIZE`` long.  The
+    header carries its own CRC32, so a flipped bit in the bookkeeping
+    (row count, slab table) is caught *before* any slab is trusted.
+    """
+    if len(buf) < _V3_HEADER_SIZE:
+        raise CorruptPageError("column slab header truncated")
+    _, version, n, ndims = _HEAD_V3.unpack_from(buf, 0)
+    if version != _VERSION_V3:
+        raise ValueError(f"unsupported column-slab version {version}")
+    crcs = _CRC_TABLE.unpack_from(buf, _HEAD_V3.size)
+    declared = _HEAD_CRC.unpack_from(buf, _HEAD_V3.size + _CRC_TABLE.size)[0]
+    actual = zlib.crc32(bytes(buf[: _HEAD_V3.size + _CRC_TABLE.size]))
+    if actual != declared:
+        raise CorruptPageError("column slab header failed its CRC32 check")
+    if n < 0:
+        raise CorruptPageError(f"column slab header declares {n} rows")
+    return n, ndims, crcs
+
+
+def save_columns_file(path, cols) -> int:
+    """Write one column batch as a flat ``RPROCOL3`` slab image.
+
+    Slabs land in the shared stream order, each 8 bytes per element and
+    8-byte aligned, so :func:`map_columns` can hand out zero-copy views.
+    Returns the number of bytes written.
+    """
+    n = len(cols)
+    slabs: List[bytes] = [
+        np.ascontiguousarray(cols.oid, dtype="<i8").tobytes(),
+        np.ascontiguousarray(cols.tref, dtype="<f8").tobytes(),
+    ]
+    for column in (cols.mlo, cols.mhi, cols.vlo, cols.vhi):
+        for dim in range(NDIMS):
+            slabs.append(np.ascontiguousarray(column[dim], dtype="<f8").tobytes())
+    head = _v3_header(n, [zlib.crc32(slab) for slab in slabs])
+    with open(path, "wb") as fh:
+        fh.write(head)
+        for slab in slabs:
+            fh.write(slab)
+    return _V3_HEADER_SIZE + sum(len(slab) for slab in slabs)
+
+
+class MappedColumns:
+    """Read-only column access over a memory-mapped ``RPROCOL3`` file.
+
+    Opening validates the header (magic, version, CRC) and the file
+    size against the declared row count — nothing else is read, so a
+    1M-row dataset opens in microseconds.  Column properties are
+    zero-copy ``np.memmap`` views into the slabs; each slab's CRC32 is
+    verified once, lazily, the first time it is touched, so integrity
+    still holds end to end without an upfront full-file scan.  The
+    derived shift planes (``slo = mlo - vlo·tref``) are not stored in
+    the file; they are recomputed lazily from the mapped slabs and
+    cached, exactly like a fresh :class:`~repro.core.columns.
+    ColumnStore` pack would produce them.
+
+    Duck-compatible with the read side of ``ColumnStore``: ``batch()``
+    yields the same :class:`~repro.geometry.kernels.KineticBatch` the
+    engine sweeps, so a mapped dataset drops straight into
+    :class:`~repro.core.columnar.ColumnarJoinEngine` via
+    ``UpdateColumns``-style consumption or the kernels directly.
+    """
+
+    __slots__ = ("path", "n", "_raw", "_crcs", "_verified", "_slo", "_shi")
+
+    def __init__(self, path):
+        self.path = path
+        raw = np.memmap(path, dtype=np.uint8, mode="r")
+        n, ndims, crcs = _parse_v3_header(raw[: _V3_HEADER_SIZE])
+        if ndims != NDIMS:
+            raise ValueError(
+                f"slab image has {ndims} dimensions, library has {NDIMS}"
+            )
+        expected = _V3_HEADER_SIZE + _N_SLABS * 8 * n
+        if raw.size < expected:
+            raise CorruptPageError(
+                f"column slab image truncated: expected {expected} bytes, "
+                f"found {raw.size}"
+            )
+        self.n = n
+        self._raw = raw
+        self._crcs = crcs
+        self._verified = [False] * _N_SLABS
+        self._slo = None
+        self._shi = None
+
+    def _slab_bytes(self, index: int, count: int = 1):
+        """Raw view over ``count`` adjacent slabs starting at ``index``,
+        CRC-verifying each on first touch."""
+        n = self.n
+        for i in range(index, index + count):
+            if not self._verified[i]:
+                off = _V3_HEADER_SIZE + i * 8 * n
+                if zlib.crc32(self._raw[off : off + 8 * n]) != self._crcs[i]:
+                    raise CorruptPageError(
+                        f"column slab {_SLAB_NAMES[i]!r} failed its CRC32 check"
+                    )
+                self._verified[i] = True
+        off = _V3_HEADER_SIZE + index * 8 * n
+        return self._raw[off : off + count * 8 * n]
+
+    @property
+    def oid(self) -> np.ndarray:
+        return self._slab_bytes(0).view("<i8")
+
+    @property
+    def tref(self) -> np.ndarray:
+        return self._slab_bytes(1).view("<f8")
+
+    def _plane(self, first_slab: int) -> np.ndarray:
+        """One ``(NDIMS, n)`` bound plane: adjacent dim slabs, one view."""
+        return self._slab_bytes(first_slab, NDIMS).view("<f8").reshape(NDIMS, self.n)
+
+    @property
+    def mlo(self) -> np.ndarray:
+        return self._plane(2)
+
+    @property
+    def mhi(self) -> np.ndarray:
+        return self._plane(2 + NDIMS)
+
+    @property
+    def vlo(self) -> np.ndarray:
+        return self._plane(2 + 2 * NDIMS)
+
+    @property
+    def vhi(self) -> np.ndarray:
+        return self._plane(2 + 3 * NDIMS)
+
+    @property
+    def slo(self) -> np.ndarray:
+        """Lazily recomputed pre-shifted lower bounds (cached)."""
+        if self._slo is None:
+            self._slo = self.mlo - self.vlo * self.tref
+        return self._slo
+
+    @property
+    def shi(self) -> np.ndarray:
+        """Lazily recomputed pre-shifted upper bounds (cached)."""
+        if self._shi is None:
+            self._shi = self.mhi - self.vhi * self.tref
+        return self._shi
+
+    def batch(self) -> KineticBatch:
+        """The mapped dataset as one sweep-ready kinetic batch."""
+        return KineticBatch(
+            self.mlo, self.mhi, self.vlo, self.vhi,
+            np.asarray(self.tref), self.slo, self.shi,
+        )
+
+    def columns(self):
+        """Materialize into ``UpdateColumns`` (full deserialization)."""
+        from ..core.columns import UpdateColumns
+
+        return UpdateColumns(
+            oid=np.array(self.oid, dtype=np.int64),
+            mlo=np.array(self.mlo, dtype=float),
+            mhi=np.array(self.mhi, dtype=float),
+            vlo=np.array(self.vlo, dtype=float),
+            vhi=np.array(self.vhi, dtype=float),
+            tref=np.array(self.tref, dtype=float),
+        )
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        touched = sum(self._verified)
+        return (
+            f"MappedColumns(n={self.n}, slabs={_N_SLABS}, "
+            f"verified={touched}/{_N_SLABS})"
+        )
+
+
+def map_columns(path) -> Union[MappedColumns, "object"]:
+    """Open a persisted column file for reading, version-dispatched.
+
+    ``RPROCOL3`` slab images come back as :class:`MappedColumns`
+    (zero-copy, lazily verified).  Legacy ``RPROCOLS``/``RPROCOL2``
+    stream files have no aligned slab layout to map, so they are
+    materialized through :func:`read_column_stream` into
+    ``UpdateColumns`` — same reader path as the page chains, same
+    result columns, just without the mmap economics.
+    """
+    with open(path, "rb") as fh:
+        magic = fh.read(8)
+        if magic == _MAGIC_V3:
+            pass
+        elif magic in (_MAGIC_V1, _MAGIC_V2):
+            return read_column_stream(magic + fh.read())
+        else:
+            raise ValueError("not a column-page stream")
+    return MappedColumns(path)

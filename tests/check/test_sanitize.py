@@ -488,3 +488,110 @@ class TestDeltaLedger:
         with pytest.raises(InvariantViolation) as err:
             engine._sanitize()
         assert any(f.code == "SC701" for f in err.value.findings)
+
+
+# ----------------------------------------------------------------------
+# Columnar result store (SC801-SC803)
+# ----------------------------------------------------------------------
+class TestColumnResultStore:
+    """``check_column_result_store`` audits the SoA interval planes:
+    order/disjointness (SC801), index agreement (SC802), post-flush
+    bookkeeping (SC803), and the shared TC bound (SC303)."""
+
+    def build(self):
+        from repro.core.result import ColumnResultStore
+
+        store = ColumnResultStore()
+        store.add_batch((1, 1, 3), (2, 2, 4), (0.0, 5.0, 1.0), (1.0, 6.0, 9.0))
+        store.flush()
+        return store
+
+    def check(self, store, **kw):
+        from repro.check.sanitize import check_column_result_store
+
+        return check_column_result_store(store, **kw)
+
+    def test_clean_store_has_no_findings(self):
+        store = self.build()
+        assert self.check(store) == []
+        assert self.check(
+            store, t_m=10.0, anchors={1: 0.0, 2: 0.0, 3: 0.0, 4: 0.0}
+        ) == []
+
+    def test_pair_keys_out_of_order_is_sc801(self):
+        store = self.build()
+        store._a[0] = 9  # rows no longer sorted by (a, b)
+        found = self.check(store)
+        assert "SC801" in codes(found)
+
+    def test_overlapping_intervals_is_sc801(self):
+        store = self.build()
+        store._lo[1] = 0.5  # second (1, 2) interval now overlaps the first
+        assert codes(self.check(store)) == {"SC801"}
+
+    def test_interval_starts_out_of_order_is_sc801(self):
+        store = self.build()
+        store._lo[1], store._lo[0] = store._lo[0], store._lo[1]
+        assert "SC801" in codes(self.check(store))
+
+    def test_stale_run_boundaries_is_sc802(self):
+        store = self.build()
+        store._run_starts = store._run_starts[:-1]
+        found = self.check(store)
+        assert "SC802" in codes(found)
+
+    def test_corrupt_b_order_is_sc802(self):
+        store = self.build()
+        store.pairs_for_object(2)  # force the lazy b-side index
+        store._b_order = store._b_order[::-1].copy()
+        store._b[0], store._b[1] = 7, 2  # make the reversal observable
+        store._a[1] = 1
+        found = self.check(store)
+        assert "SC802" in codes(found)
+
+    def test_pair_count_mismatch_is_sc803(self):
+        store = self.build()
+        store._n_pairs += 1
+        assert codes(self.check(store)) == {"SC803"}
+
+    def test_empty_interval_is_sc803(self):
+        store = self.build()
+        store._hi[2] = store._lo[2] - 1.0
+        assert "SC803" in codes(self.check(store))
+
+    def test_nan_endpoint_is_sc803(self):
+        import numpy as np
+
+        store = self.build()
+        store._hi[2] = np.nan
+        assert "SC803" in codes(self.check(store))
+
+    def test_dead_row_after_flush_is_sc803(self):
+        store = self.build()
+        store._live[0] = False  # dead row without pending bookkeeping
+        assert "SC803" in codes(self.check(store))
+
+    def test_interval_past_tc_bound_is_sc303(self):
+        store = self.build()
+        found = self.check(
+            store, t_m=1.0, anchors={1: 0.0, 2: 0.0, 3: 0.0, 4: 0.0}, floor=0.0
+        )
+        assert codes(found) == {"SC303"}
+
+    def test_sanitize_flag_wires_sc80x_into_the_columnar_engine(self):
+        """``sanitize=True`` on a columnar engine audits the plane
+        store end to end."""
+        from repro.core.columnar import ColumnarJoinEngine
+
+        engine = ColumnarJoinEngine(
+            random_objects(5, 12, t_ref=0.0, space=200.0),
+            random_objects(6, 12, id_offset=100, t_ref=0.0, space=200.0),
+            "tc",
+            JoinConfig(t_m=10.0, sanitize=True),
+        )
+        engine.run_initial_join()
+        engine._sanitize()
+        engine.store._run_starts = engine.store._run_starts[:-1]
+        with pytest.raises(InvariantViolation) as err:
+            engine._sanitize()
+        assert any(f.code == "SC802" for f in err.value.findings)

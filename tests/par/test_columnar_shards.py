@@ -1,0 +1,184 @@
+"""Columnar shard workers: bit-exactness and fault recovery.
+
+``JoinConfig(shard_engine="columnar")`` routes every per-shard engine
+onto :class:`~repro.core.columnar.ColumnarJoinEngine` (with its
+column result store).  The routing must be an implementation detail:
+for every shard/worker combination the merged store is bit-identical
+to the serial columnar engine's — including across worker crashes,
+where the ``ckpt/4`` blob must rebuild the columnar engine class and
+its planes exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ColumnarJoinEngine, ContinuousJoinEngine, JoinConfig
+from repro.core.result import ColumnResultStore
+from repro.par import ShardedJoinEngine
+from repro.par import worker
+from repro.workloads import UpdateStream, make_workload
+
+T_M = 8.0
+STEPS = 5
+
+
+def snapshot(store):
+    """Exact (unrounded) store contents, order-normalized."""
+    return sorted(
+        (key, tuple((iv.start, iv.end) for iv in intervals))
+        for key, intervals in store._pairs.items()
+    )
+
+
+def scenario_for(seed: int, n: int = 40):
+    return make_workload(
+        n, "uniform", max_speed=3.0, object_size_pct=0.8, t_m=T_M, seed=seed
+    )
+
+
+def drive_both(shards, workers, seed=19, faults=None, **config_kwargs):
+    """Serial engine vs columnar-worker sharded engine off one feed."""
+    scenario = scenario_for(seed)
+    serial = ContinuousJoinEngine(
+        scenario.set_a, scenario.set_b, "mtb",
+        JoinConfig(t_m=T_M, node_capacity=8),
+    )
+    serial.run_initial_join()
+    if workers:
+        config_kwargs.setdefault("shard_timeout", 10.0)
+        config_kwargs.setdefault("shard_heartbeat", 0.01)
+    config = JoinConfig(
+        t_m=T_M, node_capacity=8, shard_engine="columnar",
+        faults=faults, **config_kwargs
+    )
+    sharded = ShardedJoinEngine(
+        scenario.set_a, scenario.set_b, "mtb", config,
+        shards=shards, workers=workers,
+    )
+    sharded.run_initial_join()
+    assert snapshot(serial._strategy.store) == snapshot(sharded.merged_store())
+    pair_ticks = 0
+    stream = UpdateStream(scenario, seed=seed + 1)
+    for t, batch in stream.by_timestamp(t_start=1.0, t_end=float(STEPS)):
+        serial.tick(t)
+        for obj in batch:
+            serial.apply_update(obj)
+        want = serial.result_at(t)
+        assert sharded.step(t, batch) == want, (shards, workers, t)
+        assert snapshot(serial._strategy.store) == snapshot(
+            sharded.merged_store()
+        ), (shards, workers, t)
+        pair_ticks += bool(want)
+    assert pair_ticks > 0, "vacuous run: the answer was always empty"
+    sharded.validate()
+    return sharded
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_matches_serial_engine(self, shards, workers):
+        sharded = drive_both(shards, workers)
+        sharded.close()
+
+    def test_in_process_shards_use_columnar_engines(self):
+        """With workers=0 the registry is inspectable: every per-shard
+        engine must be the columnar class with a column store."""
+        sharded = drive_both(shards=2, workers=0)
+        engines = sharded._backend.engines
+        assert len(engines) == 2
+        for engine in engines.values():
+            assert isinstance(engine, ColumnarJoinEngine)
+            assert isinstance(engine.store, ColumnResultStore)
+        sharded.close()
+
+    def test_sanitized_columnar_run_stays_clean(self):
+        """SC8xx checks run inside every shard worker."""
+        sharded = drive_both(shards=2, workers=0, sanitize=True)
+        sharded.close()
+
+    def test_deltas_flow_from_columnar_shards(self):
+        scenario = scenario_for(23)
+        config = JoinConfig(t_m=T_M, node_capacity=8, deltas=True,
+                            shard_engine="columnar")
+        serial = ColumnarJoinEngine(
+            scenario.set_a, scenario.set_b, algorithm="mtb",
+            config=JoinConfig(t_m=T_M, node_capacity=8, deltas=True),
+        )
+        serial.run_initial_join()
+        sharded = ShardedJoinEngine(
+            scenario.set_a, scenario.set_b, "mtb", config, shards=2
+        )
+        sharded.run_initial_join()
+        stream = UpdateStream(scenario, seed=24)
+        for t, batch in stream.by_timestamp(t_start=1.0, t_end=float(STEPS)):
+            serial.tick(t)
+            serial.apply_updates(batch)
+            sharded.step(t, batch)
+            assert tuple(sharded.deltas(t)) == serial.deltas(t), t
+        sharded.close()
+
+
+class TestFaultRecovery:
+    def test_killed_columnar_worker_recovers_exactly(self):
+        """A kill fault mid-run must replay onto a restored columnar
+        engine with no visible difference in the merged store."""
+        sharded = drive_both(
+            shards=2, workers=2, faults="kill:op=ops",
+            checkpoint_interval=2,
+        )
+        stats = sharded.fault_stats()
+        assert stats is not None
+        assert stats.worker_deaths > 0, "the fault never fired"
+        assert stats.respawns > 0
+        sharded.close()
+
+
+class TestCheckpointBlob:
+    def build(self):
+        scenario = scenario_for(11, n=24)
+        config = JoinConfig(t_m=T_M, node_capacity=8, shard_engine="columnar")
+        registry = {}
+        spec = worker.build_spec(
+            scenario.set_a, scenario.set_b, "mtb", config, 0.0
+        )
+        worker.execute(registry, [("build", 0, spec), ("initial_join", 0)])
+        return registry
+
+    def test_blob_declares_columnar_engine(self):
+        registry = self.build()
+        assert isinstance(registry[0], ColumnarJoinEngine)
+        blob = worker.make_checkpoint(registry[0])
+        assert blob["format"] == "repro.par.ckpt/4"
+        assert blob["engine"] == "columnar"
+
+    def test_restore_is_plane_identical(self):
+        registry = self.build()
+        engine = registry[0]
+        engine.tick(1.0)
+        restored = worker.restore_engine(worker.make_checkpoint(engine))
+        assert isinstance(restored, ColumnarJoinEngine)
+        assert isinstance(restored.store, ColumnResultStore)
+        assert worker._dump_store(restored) == worker._dump_store(engine)
+        restored.store.flush()
+        engine.store.flush()
+        for plane in ("_a", "_b", "_lo", "_hi"):
+            got = getattr(restored.store, plane)[: restored.store._n]
+            want = getattr(engine.store, plane)[: engine.store._n]
+            assert np.array_equal(got, want), plane
+
+    def test_restored_engine_evolves_like_the_original(self):
+        registry = self.build()
+        twin = {0: worker.restore_engine(worker.make_checkpoint(registry[0]))}
+        for step in (1.0, 2.0):
+            for reg in (registry, twin):
+                worker.execute(reg, [("tick", 0, step), ("prune", 0)])
+            assert worker.execute(twin, [("store_dump", 0)]) == worker.execute(
+                registry, [("store_dump", 0)]
+            )
+
+    def test_shard_engine_knob_validated(self):
+        with pytest.raises(ValueError, match="shard_engine"):
+            JoinConfig(t_m=T_M, shard_engine="vector")

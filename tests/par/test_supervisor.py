@@ -196,7 +196,10 @@ class TestCheckpointBlob:
     def test_blob_keys_match_declared_format(self):
         blob = worker.make_checkpoint(self.build_registry()[0])
         assert blob["format"] == worker.CHECKPOINT_FORMAT
-        assert set(blob) == {"format", "spec", "rows", "update_count", "delta_seed"}
+        assert set(blob) == {
+            "format", "spec", "rows", "update_count", "delta_seed", "engine",
+        }
+        assert blob["engine"] == "object"
 
 
 class TestShutdown:
